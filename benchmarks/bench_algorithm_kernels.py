@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the per-request hot paths and offline solvers.
+
+These complement the per-figure experiment benchmarks: they time the kernels a
+user pays for when embedding the library — one full online run of each
+algorithm on a medium clustered workload, the offline references, and the
+vectorized metric row computation the primal–dual algorithm leans on.
+"""
+
+import pytest
+
+from repro.algorithms.base import run_online
+from repro.algorithms.offline.greedy import GreedyOfflineSolver
+from repro.algorithms.online.no_prediction import NoPredictionGreedy
+from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+from repro.algorithms.online.per_commodity import PerCommodityAlgorithm
+from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+from repro.metric.factories import random_euclidean_metric
+from repro.workloads.clustered import clustered_workload
+
+#: Shared medium-sized workload (kept module-level so every kernel sees the
+#: exact same instance and the benchmark groups are comparable).
+_WORKLOAD = clustered_workload(
+    num_requests=120, num_commodities=12, num_clusters=4, rng=2024
+)
+
+
+@pytest.mark.benchmark(group="online-kernels")
+def test_pd_omflp_full_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_online(PDOMFLPAlgorithm(), _WORKLOAD.instance), rounds=3, iterations=1
+    )
+    result.solution.validate(_WORKLOAD.instance.requests)
+
+
+@pytest.mark.benchmark(group="online-kernels")
+def test_rand_omflp_full_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_online(RandOMFLPAlgorithm(), _WORKLOAD.instance, rng=0),
+        rounds=3,
+        iterations=1,
+    )
+    result.solution.validate(_WORKLOAD.instance.requests)
+
+
+@pytest.mark.benchmark(group="online-kernels")
+def test_per_commodity_full_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_online(PerCommodityAlgorithm("fotakis"), _WORKLOAD.instance),
+        rounds=3,
+        iterations=1,
+    )
+    result.solution.validate(_WORKLOAD.instance.requests)
+
+
+@pytest.mark.benchmark(group="online-kernels")
+def test_no_prediction_full_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_online(NoPredictionGreedy(), _WORKLOAD.instance), rounds=3, iterations=1
+    )
+    result.solution.validate(_WORKLOAD.instance.requests)
+
+
+@pytest.mark.benchmark(group="offline-kernels")
+def test_offline_greedy_reference(benchmark):
+    result = benchmark.pedantic(
+        lambda: GreedyOfflineSolver().solve(_WORKLOAD.instance), rounds=3, iterations=1
+    )
+    result.solution.validate(_WORKLOAD.instance.requests)
+
+
+@pytest.mark.benchmark(group="metric-kernels")
+def test_metric_distance_rows(benchmark):
+    metric = random_euclidean_metric(512, rng=7)
+
+    def all_rows():
+        total = 0.0
+        for point in range(0, metric.num_points, 8):
+            total += float(metric.distances_from(point).sum())
+        return total
+
+    total = benchmark(all_rows)
+    assert total > 0

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction of the arrival-order study (``arrival-order``)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_arrival_order_study(benchmark):
+    result = run_experiment_benchmark(benchmark, "arrival-order")
+    # On average the adversarial-ish order should not be cheaper than the
+    # random order (weakened adversaries help, Section 1.2).
+    factors = [row["adversarial_over_random"] for row in result.rows]
+    assert float(np.mean(factors)) >= 0.9

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of the Section-1.3 baseline separation (``baseline-separation``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_separation(benchmark):
+    result = run_experiment_benchmark(benchmark, "baseline-separation")
+    constant_rows = [r for r in result.rows if r["cost_kind"] == "constant"]
+    largest = max(r["num_commodities"] for r in constant_rows)
+    at_largest = {r["algorithm"]: r["ratio"] for r in constant_rows if r["num_commodities"] == largest}
+    # The per-commodity decomposition pays ~|S| while PD/RAND pay O(1).
+    assert at_largest["per-commodity-fotakis"] >= 0.9 * largest
+    assert at_largest["pd-omflp"] <= 4.0
+    assert at_largest["rand-omflp"] <= 10.0

@@ -1,0 +1,16 @@
+"""Benchmark + reproduction of Corollary 3 (experiment ``cor3-line-adversary``)."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="lower-bounds")
+def test_cor3_combined_adversary(benchmark):
+    result = run_experiment_benchmark(benchmark, "cor3-line-adversary")
+    for row in result.rows:
+        # The single-point part alone already forces ~sqrt(|S|).
+        assert row["single_point_ratio"] >= 0.9 * math.sqrt(row["num_commodities"])
+        assert row["predicted_shape"] >= math.sqrt(row["num_commodities"])

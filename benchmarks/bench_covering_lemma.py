@@ -1,0 +1,12 @@
+"""Benchmark + reproduction of the c-ordered covering bound (``covering-lemma``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="analysis-machinery")
+def test_covering_lemma(benchmark):
+    result = run_experiment_benchmark(benchmark, "covering-lemma")
+    # Lemma 12: the constructive cover never exceeds 2 c H_n.
+    assert all(row["max_weight_over_bound"] <= 1.0 + 1e-9 for row in result.rows)

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction of the duality machinery checks (``duality-certificates``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="analysis-machinery")
+def test_duality_certificates(benchmark):
+    result = run_experiment_benchmark(benchmark, "duality-certificates")
+    for row in result.rows:
+        # Corollary 8: primal cost <= 3 * sum of duals.
+        assert row["primal_over_duals"] <= 3.0 + 1e-9
+        # Corollary 17: the paper's gamma scaling is dual-feasible.
+        assert bool(row["gamma_feasible"])

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction of Figure 2 (experiment ``fig2-bound-curves``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_bound_curves(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig2-bound-curves")
+    by_x = {row["x"]: row for row in result.rows}
+    # Figure 2's caption facts: curves coincide at x in {0, 1, 2}, peak = |S|^(1/4).
+    for x in (0.0, 1.0, 2.0):
+        assert by_x[x]["gap_factor"] == pytest.approx(1.0)
+    assert by_x[1.0]["upper_bound_sqrtS_power"] == pytest.approx(10_000**0.25)

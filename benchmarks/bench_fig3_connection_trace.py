@@ -1,0 +1,13 @@
+"""Benchmark + reproduction of the Figure-3 connection trace (``fig3-connection-trace``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_connection_trace(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig3-connection-trace")
+    assert "Figure 3" in (result.extra_text or "")
+    assert all(row["connection_cost"] >= 0 for row in result.rows)
+    assert all(row["distinct_facilities"] >= 1 for row in result.rows)

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of the closing-remarks ablation (``heavy-commodities``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_heavy_commodities_ablation(benchmark):
+    result = run_experiment_benchmark(benchmark, "heavy-commodities")
+    # With uniform service sizes the heavy-aware variant must coincide with
+    # plain PD (no commodity is detected as heavy).
+    no_skew = [r for r in result.rows if r["heavy_weight"] == 1.0]
+    plain = {r["seed"]: r["cost"] for r in no_skew if r["algorithm"] == "pd-omflp"}
+    excluded = {r["seed"]: r["cost"] for r in no_skew if r["algorithm"] == "pd-omflp-heavy-excluded"}
+    for seed, cost in plain.items():
+        assert excluded[seed] == pytest.approx(cost, rel=0.05)

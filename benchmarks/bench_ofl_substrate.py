@@ -1,0 +1,13 @@
+"""Benchmark + reproduction of the OFL substrate sanity study (``fotakis-ofl-regression``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_ofl_substrate_regression(benchmark):
+    result = run_experiment_benchmark(benchmark, "fotakis-ofl-regression")
+    # Both single-commodity substrates stay within a constant band of the
+    # offline reference on these workloads.
+    assert all(0.5 <= row["ratio"] <= 12.0 for row in result.rows)

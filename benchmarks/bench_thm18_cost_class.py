@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of the Theorem-18 cost-class study (``thm18-cost-class``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_thm18_cost_class(benchmark):
+    result = run_experiment_benchmark(benchmark, "thm18-cost-class")
+    adversary_rows = [r for r in result.rows if r["side"] == "adversary"]
+    # On the adversary side OPT is analytic, so no algorithm can be below 1...
+    assert all(row["ratio"] >= 0.99 for row in adversary_rows)
+    # ... and at the extreme exponents the predicted lower bound collapses to 1
+    # (prediction useless at x = 2, a single large facility optimal at x = 0).
+    for row in adversary_rows:
+        if row["x"] in (0.0, 2.0):
+            assert row["predicted_lower"] == pytest.approx(1.0)

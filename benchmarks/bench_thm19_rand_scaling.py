@@ -1,0 +1,15 @@
+"""Benchmark + reproduction of the Theorem-19 scaling study (``thm19-rand-scaling``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_thm19_rand_scaling(benchmark):
+    result = run_experiment_benchmark(benchmark, "thm19-rand-scaling")
+    head_to_head = [row for row in result.rows if row["sweep"] == "head-to-head"]
+    assert head_to_head, "the RAND vs PD comparison rows must be present"
+    for row in head_to_head:
+        # RAND's expected cost stays within a small factor of PD's.
+        assert 0.2 <= row["ratio"] <= 5.0

@@ -1,0 +1,16 @@
+"""Benchmark + reproduction of Theorem 2 / Figure 1 (experiment ``thm2-single-point``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="lower-bounds")
+def test_thm2_single_point_adversary(benchmark):
+    result = run_experiment_benchmark(benchmark, "thm2-single-point")
+    # Every algorithm pays at least ~sqrt(|S|) while OPT pays 1 (Theorem 2).
+    for row in result.rows:
+        assert row["opt_cost"] == pytest.approx(1.0)
+        assert row["ratio"] >= 0.9 * row["predicted_sqrt_S"]
+    # The Figure-1 transcript is part of the reproduced artifact.
+    assert "Figure 1" in (result.extra_text or "")

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of the Theorem-4 scaling study (``thm4-pd-scaling``)."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_thm4_pd_scaling(benchmark):
+    result = run_experiment_benchmark(benchmark, "thm4-pd-scaling")
+    # PD-OMFLP stays within a small constant factor of the offline reference on
+    # clustered workloads (the O(sqrt(|S|) log n) guarantee is a worst case).
+    ratios = [row["ratio"] for row in result.rows]
+    assert max(ratios) <= 15.0
+    assert min(ratios) >= 0.6
+    assert any("ratio vs n" in note for note in result.notes)
+    assert any("ratio vs |S|" in note for note in result.notes)

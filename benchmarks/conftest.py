@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment benchmark runs the corresponding experiment exactly once
+(``rounds=1``) through pytest-benchmark so the wall-clock cost of regenerating
+each figure/table is recorded, then prints the regenerated table so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's artifacts in
+the console, and finally asserts the experiment's headline qualitative claim.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import ExperimentResult
+from repro.experiments import run_experiment
+
+
+def run_experiment_benchmark(
+    benchmark, experiment_id: str, *, profile: str = "quick", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, profile=profile, rng=seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    return result

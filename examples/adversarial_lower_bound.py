@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Play the Theorem-2 lower-bound game and watch the Ω(√|S|) separation appear.
+
+The adversary sits on a single point, prices facilities at
+``⌈|σ|/√|S|⌉`` and asks for a secret random √|S|-subset of commodities, one
+commodity at a time.  The offline optimum opens one facility covering exactly
+that subset (cost 1); every online algorithm — including the paper's — must
+pay Ω(√|S|), and algorithms that never predict pay it with certainty.
+
+The example sweeps |S|, plays the game against PD-OMFLP, RAND-OMFLP, the
+no-prediction greedy and the per-commodity baseline, prints the measured
+ratios next to √|S|, and shows the Figure-1 round transcript of one game.
+
+Run with::
+
+    python examples/adversarial_lower_bound.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    NoPredictionGreedy,
+    PDOMFLPAlgorithm,
+    PerCommodityAlgorithm,
+    RandOMFLPAlgorithm,
+)
+from repro.analysis import format_table
+from repro.lowerbound import predicted_single_point_ratio, run_single_point_game
+
+
+def main() -> None:
+    sizes = [16, 64, 256, 1024]
+    factories = {
+        "pd-omflp": PDOMFLPAlgorithm,
+        "rand-omflp": RandOMFLPAlgorithm,
+        "no-prediction-greedy": NoPredictionGreedy,
+        "per-commodity-fotakis": lambda: PerCommodityAlgorithm("fotakis"),
+    }
+
+    rows = []
+    for num_commodities in sizes:
+        for name, factory in factories.items():
+            game = run_single_point_game(factory(), num_commodities, repeats=5, rng=1)
+            rows.append(
+                {
+                    "|S|": num_commodities,
+                    "algorithm": name,
+                    "mean cost": game.algorithm_cost,
+                    "OPT": game.opt_cost,
+                    "ratio": game.ratio,
+                    "sqrt(|S|)": predicted_single_point_ratio(num_commodities),
+                }
+            )
+    print(format_table(rows, title="Theorem 2: the single-point adversary (OPT = 1)"))
+    print()
+
+    print("One full game against PD-OMFLP, round by round (the structure of Figure 1):")
+    game = run_single_point_game(PDOMFLPAlgorithm(), 256, repeats=1, rng=3, keep_rounds=True)
+    for game_round in game.rounds:
+        print(
+            f"  round {game_round.round_index:>2}: commodity {game_round.commodity:>3} requested, "
+            f"{game_round.commodities_newly_covered} newly covered, "
+            f"facility cost paid {game_round.facility_cost_paid:.2f}"
+        )
+    print(
+        f"  => algorithm paid {game.algorithm_cost:.2f} over {game.num_rounds} rounds; "
+        f"OPT pays {game.opt_cost:.2f}; ratio {game.ratio:.2f} ~ sqrt(|S|) = "
+        f"{predicted_single_point_ratio(256):.1f}"
+    )
+    print()
+    print("No algorithm escapes the sqrt(|S|) factor here — that is the content of the")
+    print("lower bound — but PD/RAND never do worse than it by more than a constant,")
+    print("while prediction-free strategies can be forced to a full Θ(|S|) on other cost")
+    print("functions (see examples/cost_function_study.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable (``pip install -e .``) in offline
+environments whose setuptools/pip combination lacks the ``wheel`` package
+required by PEP-517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

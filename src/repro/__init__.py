@@ -1,0 +1,165 @@
+"""repro — reproduction of *The Online Multi-Commodity Facility Location Problem*.
+
+Castenow, Feldkord, Knollmann, Malatyali, Meyer auf der Heide (SPAA 2020,
+arXiv:2005.08391).
+
+The package implements the Online Multi-Commodity Facility Location Problem
+(OMFLP) — metric spaces, facility cost functions, the online request model —
+together with the paper's two online algorithms (the deterministic
+primal–dual ``PD-OMFLP`` and the randomized ``RAND-OMFLP``), the baselines
+they are compared against, the adversarial lower-bound constructions
+(Theorem 2 / Corollary 3), offline reference solvers for measuring
+competitive ratios, and an experiment harness that regenerates every figure
+and theorem-backed result of the paper (see ``EXPERIMENTS.md``).
+
+Quickstart
+----------
+>>> from repro import (
+...     Instance, RequestSequence, PowerCost, uniform_line_metric,
+...     PDOMFLPAlgorithm, run_online,
+... )
+>>> metric = uniform_line_metric(8)
+>>> cost = PowerCost(num_commodities=4, exponent_x=1.0)
+>>> requests = RequestSequence.from_tuples([(1, {0, 1}), (6, {2}), (2, {0, 3})])
+>>> instance = Instance(metric, cost, requests)
+>>> result = run_online(PDOMFLPAlgorithm(), instance)
+>>> result.solution.validate(instance.requests)   # every commodity is served
+>>> result.total_cost > 0
+True
+"""
+
+from repro.algorithms import (
+    AlwaysLargeGreedy,
+    BruteForceSolver,
+    FotakisOFLAlgorithm,
+    GreedyOfflineSolver,
+    LocalSearchSolver,
+    MeyersonOFLAlgorithm,
+    NoPredictionGreedy,
+    OnlineResult,
+    PDOMFLPAlgorithm,
+    PerCommodityAlgorithm,
+    RandOMFLPAlgorithm,
+    ThresholdPDAlgorithm,
+    run_online,
+)
+from repro.core import (
+    Assignment,
+    CommodityUniverse,
+    Facility,
+    FacilityStore,
+    Instance,
+    OnlineState,
+    Request,
+    RequestSequence,
+    Solution,
+    Trace,
+)
+from repro.costs import (
+    AdversaryCost,
+    ConstantCost,
+    CostClassIndex,
+    CountBasedCost,
+    FacilityCostFunction,
+    HierarchicalCost,
+    LinearCost,
+    OrderedLinearCost,
+    PerPointScaledCost,
+    PowerCost,
+    TabulatedCost,
+    WeightedConcaveCost,
+    check_condition_one,
+    check_subadditivity,
+)
+from repro.exceptions import (
+    AlgorithmError,
+    ExperimentError,
+    InfeasibleSolutionError,
+    InvalidCostFunctionError,
+    InvalidInstanceError,
+    InvalidMetricError,
+    ReproError,
+)
+from repro.metric import (
+    EuclideanMetric,
+    ExplicitMetric,
+    GraphMetric,
+    GridMetric,
+    LineMetric,
+    MetricSpace,
+    SinglePointMetric,
+    TreeMetric,
+    random_euclidean_metric,
+    random_graph_metric,
+    random_line_metric,
+    random_tree_metric,
+    uniform_line_metric,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Instance",
+    "Request",
+    "RequestSequence",
+    "CommodityUniverse",
+    "Facility",
+    "FacilityStore",
+    "Assignment",
+    "Solution",
+    "OnlineState",
+    "Trace",
+    # metric
+    "MetricSpace",
+    "ExplicitMetric",
+    "LineMetric",
+    "EuclideanMetric",
+    "GridMetric",
+    "GraphMetric",
+    "TreeMetric",
+    "SinglePointMetric",
+    "uniform_line_metric",
+    "random_line_metric",
+    "random_euclidean_metric",
+    "random_graph_metric",
+    "random_tree_metric",
+    # costs
+    "FacilityCostFunction",
+    "CountBasedCost",
+    "PowerCost",
+    "LinearCost",
+    "ConstantCost",
+    "AdversaryCost",
+    "WeightedConcaveCost",
+    "PerPointScaledCost",
+    "TabulatedCost",
+    "HierarchicalCost",
+    "OrderedLinearCost",
+    "CostClassIndex",
+    "check_subadditivity",
+    "check_condition_one",
+    # algorithms
+    "PDOMFLPAlgorithm",
+    "RandOMFLPAlgorithm",
+    "ThresholdPDAlgorithm",
+    "FotakisOFLAlgorithm",
+    "MeyersonOFLAlgorithm",
+    "PerCommodityAlgorithm",
+    "NoPredictionGreedy",
+    "AlwaysLargeGreedy",
+    "BruteForceSolver",
+    "GreedyOfflineSolver",
+    "LocalSearchSolver",
+    "OnlineResult",
+    "run_online",
+    # exceptions
+    "ReproError",
+    "InvalidMetricError",
+    "InvalidCostFunctionError",
+    "InvalidInstanceError",
+    "InfeasibleSolutionError",
+    "AlgorithmError",
+    "ExperimentError",
+]

@@ -1,0 +1,174 @@
+"""Algorithm interfaces and the online run loop.
+
+``run_online`` is the single entry point used by tests, examples and the
+experiment harness: it feeds the requests of an instance one at a time to an
+:class:`OnlineAlgorithm`, enforces that each request is assigned before the
+next one arrives (decisions are irrevocable, Section 1.1 of the paper) and
+returns an :class:`OnlineResult` with the final solution and cost breakdown.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.instance import Instance
+from repro.core.requests import Request
+from repro.core.solution import CostBreakdown, Solution
+from repro.core.state import OnlineState
+from repro.core.trace import Trace
+from repro.dual.variables import DualVariableStore
+from repro.exceptions import AlgorithmError
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["OnlineAlgorithm", "OnlineResult", "OfflineSolver", "OfflineResult", "run_online"]
+
+
+class OnlineAlgorithm(abc.ABC):
+    """An online algorithm for the OMFLP.
+
+    Subclasses implement :meth:`process`; they may also override
+    :meth:`prepare` to precompute static data (e.g. the facility cost classes
+    of RAND-OMFLP).  Algorithms must be reusable: ``prepare`` is called once
+    per run and must reset any per-run state.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "online-algorithm"
+
+    #: Whether the algorithm uses randomness (experiments average over seeds).
+    randomized: bool = False
+
+    def prepare(self, instance: Instance, state: OnlineState, rng) -> None:
+        """Hook called once before the first request arrives."""
+
+    @abc.abstractmethod
+    def process(self, request: Request, state: OnlineState, rng) -> None:
+        """Handle one arriving request.
+
+        Implementations must open any facilities they need via
+        ``state.open_facility`` and finish by recording an assignment for the
+        request (``state.record_assignment`` or a helper that calls it).
+        """
+
+    def duals(self) -> Optional[DualVariableStore]:
+        """Dual variables raised by the run, when the algorithm maintains them."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class OnlineResult:
+    """Outcome of one online run."""
+
+    algorithm: str
+    instance_name: str
+    solution: Solution
+    opening_cost: float
+    connection_cost: float
+    breakdown: CostBreakdown
+    runtime_seconds: float
+    trace: Trace
+    duals: Optional[DualVariableStore] = None
+
+    @property
+    def total_cost(self) -> float:
+        return self.opening_cost + self.connection_cost
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "instance": self.instance_name,
+            "total_cost": self.total_cost,
+            "opening_cost": self.opening_cost,
+            "connection_cost": self.connection_cost,
+            "opening_small": self.breakdown.opening_small,
+            "opening_large": self.breakdown.opening_large,
+            "num_facilities": self.solution.num_facilities(),
+            "num_large_facilities": self.solution.num_large_facilities(),
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+
+def run_online(
+    algorithm: OnlineAlgorithm,
+    instance: Instance,
+    *,
+    rng: RandomState = None,
+    trace: bool = False,
+    validate: bool = True,
+) -> OnlineResult:
+    """Run an online algorithm over the request sequence of ``instance``."""
+    generator = ensure_rng(rng)
+    state = OnlineState(instance, trace=Trace(enabled=trace))
+    start = time.perf_counter()
+    algorithm.prepare(instance, state, generator)
+    for request in instance.requests:
+        algorithm.process(request, state, generator)
+        try:
+            state.assignment_of(request.index)
+        except KeyError as error:
+            raise AlgorithmError(
+                f"{algorithm.name} finished processing request {request.index} "
+                "without recording an assignment"
+            ) from error
+    runtime = time.perf_counter() - start
+    solution = state.to_solution()
+    if validate:
+        solution.validate(instance.requests)
+    breakdown = solution.cost_breakdown(instance.requests)
+    return OnlineResult(
+        algorithm=algorithm.name,
+        instance_name=instance.name,
+        solution=solution,
+        opening_cost=breakdown.opening,
+        connection_cost=breakdown.connection,
+        breakdown=breakdown,
+        runtime_seconds=runtime,
+        trace=state.trace,
+        duals=algorithm.duals(),
+    )
+
+
+class OfflineSolver(abc.ABC):
+    """An offline solver producing a (reference) solution for a whole instance."""
+
+    name: str = "offline-solver"
+
+    @abc.abstractmethod
+    def solve(self, instance: Instance) -> "OfflineResult":
+        """Solve the instance and return the resulting solution and costs."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class OfflineResult:
+    """Outcome of one offline solve."""
+
+    solver: str
+    instance_name: str
+    solution: Solution
+    total_cost: float
+    opening_cost: float
+    connection_cost: float
+    runtime_seconds: float
+    is_optimal: bool = False
+    lower_bound: Optional[float] = None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "solver": self.solver,
+            "instance": self.instance_name,
+            "total_cost": self.total_cost,
+            "opening_cost": self.opening_cost,
+            "connection_cost": self.connection_cost,
+            "num_facilities": self.solution.num_facilities(),
+            "is_optimal": self.is_optimal,
+            "runtime_seconds": self.runtime_seconds,
+        }

@@ -1,0 +1,40 @@
+"""Offline reference solvers used to measure competitive ratios.
+
+Computing the exact optimal offline solution is NP-hard (the offline MFLP
+generalizes weighted set cover, Ravi & Sinha 2004), so the reproduction uses
+a portfolio of references, each documented with its guarantee:
+
+* :class:`~repro.algorithms.offline.brute_force.BruteForceSolver` — exact OPT
+  by exhaustive enumeration (tiny instances only);
+* :func:`~repro.algorithms.offline.lp_bound.lp_relaxation_lower_bound` — a
+  certified lower bound on OPT from the LP relaxation (small instances);
+* :class:`~repro.algorithms.offline.greedy.GreedyOfflineSolver` — a greedy
+  (set-cover flavoured) heuristic, an upper bound on OPT;
+* :class:`~repro.algorithms.offline.local_search.LocalSearchSolver` — local
+  search improvement, an upper bound on OPT;
+* :class:`~repro.algorithms.offline.planted.PlantedSolver` — evaluates a
+  planted facility set supplied by a workload generator, an upper bound on
+  OPT that is usually close to it for clustered workloads.
+"""
+
+from repro.algorithms.offline.brute_force import BruteForceSolver
+from repro.algorithms.offline.common import (
+    candidate_configurations,
+    evaluate_facility_specs,
+    optimal_assignment,
+)
+from repro.algorithms.offline.greedy import GreedyOfflineSolver
+from repro.algorithms.offline.local_search import LocalSearchSolver
+from repro.algorithms.offline.lp_bound import lp_relaxation_lower_bound
+from repro.algorithms.offline.planted import PlantedSolver
+
+__all__ = [
+    "BruteForceSolver",
+    "GreedyOfflineSolver",
+    "LocalSearchSolver",
+    "PlantedSolver",
+    "lp_relaxation_lower_bound",
+    "optimal_assignment",
+    "evaluate_facility_specs",
+    "candidate_configurations",
+]

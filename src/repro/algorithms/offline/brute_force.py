@@ -1,0 +1,124 @@
+"""Exact optimal offline solutions by exhaustive enumeration (tiny instances).
+
+By subadditivity of the cost function (Section 1.1 of the paper) it never
+helps to open two facilities at the same point — replacing them by one
+facility offering the union of their configurations costs at most as much and
+can only reduce connection costs (each request pays per *distinct* facility).
+The optimum can therefore be found by choosing, for every point, a single
+configuration (possibly empty) and assigning every request optimally; the
+solver enumerates all such choices.
+
+The search space is ``(|configurations| + 1)^{|M|}``; the solver refuses to
+run when it exceeds ``max_combinations`` so that accidental use on large
+instances fails loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import OfflineResult, OfflineSolver
+from repro.algorithms.offline.common import solution_from_specs
+from repro.core.instance import Instance
+from repro.exceptions import AlgorithmError, InfeasibleSolutionError
+
+__all__ = ["BruteForceSolver"]
+
+
+class BruteForceSolver(OfflineSolver):
+    """Exact OPT by enumerating one configuration per point.
+
+    Parameters
+    ----------
+    max_combinations:
+        Upper limit on the number of facility-placement combinations that will
+        be enumerated; exceeding it raises :class:`AlgorithmError`.
+    configurations:
+        Optional explicit configuration family.  The default enumerates every
+        non-empty subset of the commodities actually requested (plus the full
+        set ``S``), which is exact for monotone cost functions — every cost
+        family shipped with this library is monotone.
+    """
+
+    name = "brute-force"
+
+    def __init__(
+        self,
+        *,
+        max_combinations: int = 300_000,
+        configurations: Optional[Sequence[Iterable[int]]] = None,
+    ) -> None:
+        if max_combinations <= 0:
+            raise AlgorithmError("max_combinations must be positive")
+        self._max_combinations = int(max_combinations)
+        self._configurations = configurations
+
+    # ------------------------------------------------------------------
+    def _configuration_family(self, instance: Instance) -> List[FrozenSet[int]]:
+        if self._configurations is not None:
+            return [
+                instance.cost_function.normalize_configuration(c) for c in self._configurations
+            ]
+        used = sorted(instance.requests.commodities_used())
+        family: List[FrozenSet[int]] = []
+        for size in range(1, len(used) + 1):
+            family.extend(frozenset(c) for c in itertools.combinations(used, size))
+        full = instance.cost_function.full_set
+        if full not in family:
+            family.append(full)
+        return family
+
+    def solve(self, instance: Instance) -> OfflineResult:
+        start = time.perf_counter()
+        family = self._configuration_family(instance)
+        options = len(family) + 1  # +1 for "no facility at this point"
+        combinations = options**instance.num_points
+        if combinations > self._max_combinations:
+            raise AlgorithmError(
+                f"brute force would enumerate {combinations} combinations "
+                f"(> max_combinations = {self._max_combinations}); "
+                "use a heuristic offline solver for instances of this size"
+            )
+
+        best_specs: Optional[List[Tuple[int, FrozenSet[int]]]] = None
+        best_cost = float("inf")
+        points = list(range(instance.num_points))
+        choices: List[Optional[FrozenSet[int]]] = [None] + list(family)
+        for combo in itertools.product(range(options), repeat=instance.num_points):
+            specs = [
+                (point, choices[selection])
+                for point, selection in zip(points, combo)
+                if selection != 0
+            ]
+            # Quick pruning on the opening cost alone.
+            opening = sum(
+                instance.cost_function.cost(point, config) for point, config in specs
+            )
+            if opening >= best_cost:
+                continue
+            try:
+                _, total = solution_from_specs(instance, specs)
+            except InfeasibleSolutionError:
+                continue
+            if total < best_cost - 1e-12:
+                best_cost = total
+                best_specs = [(p, c) for p, c in specs]
+
+        if best_specs is None:
+            raise AlgorithmError("brute force found no feasible solution")
+        solution, total = solution_from_specs(instance, best_specs)
+        runtime = time.perf_counter() - start
+        breakdown = solution.cost_breakdown(instance.requests)
+        return OfflineResult(
+            solver=self.name,
+            instance_name=instance.name,
+            solution=solution,
+            total_cost=total,
+            opening_cost=breakdown.opening,
+            connection_cost=breakdown.connection,
+            runtime_seconds=runtime,
+            is_optimal=True,
+            lower_bound=total,
+        )

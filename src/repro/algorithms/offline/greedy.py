@@ -1,0 +1,119 @@
+"""Greedy offline heuristic (set-cover flavoured).
+
+Ravi and Sinha's offline O(log |S|) approximation is driven by greedy
+set-cover ideas; this solver follows the same spirit without reproducing
+their full analysis: it repeatedly opens the candidate facility — a
+``(point, configuration)`` pair from
+:func:`~repro.algorithms.offline.common.candidate_configurations` — with the
+best ratio of (opening cost + new connection cost) to newly covered
+(request, commodity) pairs, until every pair is covered, then computes the
+optimal assignment for the chosen facilities and drops facilities no request
+uses.
+
+The result is an upper bound on OPT; on the small instances where the exact
+brute force is tractable the test suite checks the two against each other.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import OfflineResult, OfflineSolver
+from repro.algorithms.offline.common import candidate_configurations, solution_from_specs
+from repro.core.instance import Instance
+from repro.exceptions import AlgorithmError
+
+__all__ = ["GreedyOfflineSolver"]
+
+
+class GreedyOfflineSolver(OfflineSolver):
+    """Greedy facility-opening heuristic for the offline MFLP."""
+
+    name = "offline-greedy"
+
+    def __init__(self, *, candidate_points: Optional[List[int]] = None) -> None:
+        self._candidate_points = candidate_points
+
+    def solve(self, instance: Instance) -> OfflineResult:
+        start = time.perf_counter()
+        requests = instance.requests
+        if len(requests) == 0:
+            raise AlgorithmError("cannot solve an instance with no requests")
+        metric = instance.metric
+        cost_function = instance.cost_function
+
+        points = (
+            list(self._candidate_points)
+            if self._candidate_points is not None
+            else sorted({r.point for r in requests})
+        )
+        configurations = candidate_configurations(instance)
+
+        # Pre-compute distances from every request to every candidate point.
+        distance = np.vstack([metric.distances_between(r.point, points) for r in requests])
+
+        uncovered: Set[Tuple[int, int]] = {
+            (request.index, commodity)
+            for request in requests
+            for commodity in request.commodities
+        }
+        chosen: List[Tuple[int, FrozenSet[int]]] = []
+        # Requests already paying a connection to a chosen facility at a point
+        # do not pay again when another commodity is covered from the same
+        # point, mirroring the distinct-facility connection cost.
+        connected_points: Dict[int, Set[int]] = {request.index: set() for request in requests}
+
+        while uncovered:
+            best: Optional[Tuple[float, int, FrozenSet[int], Set[Tuple[int, int]]]] = None
+            for point_index, point in enumerate(points):
+                for config in configurations:
+                    covered_now = {
+                        (r_index, commodity)
+                        for (r_index, commodity) in uncovered
+                        if commodity in config
+                    }
+                    if not covered_now:
+                        continue
+                    opening = cost_function.cost(point, config)
+                    connection = 0.0
+                    for r_index in {r for (r, _) in covered_now}:
+                        if point not in connected_points[r_index]:
+                            connection += float(distance[r_index, point_index])
+                    ratio = (opening + connection) / len(covered_now)
+                    if best is None or ratio < best[0] - 1e-15:
+                        best = (ratio, point, config, covered_now)
+            if best is None:  # pragma: no cover - defensive
+                raise AlgorithmError("greedy solver could not cover all demands")
+            _, point, config, covered_now = best
+            chosen.append((point, config))
+            uncovered -= covered_now
+            for r_index in {r for (r, _) in covered_now}:
+                connected_points[r_index].add(point)
+
+        solution, total = solution_from_specs(instance, chosen)
+        # Drop facilities that the optimal assignment does not use and
+        # re-evaluate; this only ever improves the solution.
+        used_ids = set()
+        for assignment in solution.assignments:
+            used_ids |= assignment.facility_ids()
+        pruned = [chosen[i] for i in range(len(chosen)) if i in used_ids]
+        if pruned and len(pruned) < len(chosen):
+            pruned_solution, pruned_total = solution_from_specs(instance, pruned)
+            if pruned_total <= total:
+                solution, total = pruned_solution, pruned_total
+
+        runtime = time.perf_counter() - start
+        breakdown = solution.cost_breakdown(requests)
+        return OfflineResult(
+            solver=self.name,
+            instance_name=instance.name,
+            solution=solution,
+            total_cost=total,
+            opening_cost=breakdown.opening,
+            connection_cost=breakdown.connection,
+            runtime_seconds=runtime,
+            is_optimal=False,
+        )

@@ -1,0 +1,42 @@
+"""Always-large greedy baseline.
+
+The opposite extreme of :class:`~repro.algorithms.online.no_prediction.NoPredictionGreedy`:
+this baseline always predicts maximally — every facility it opens offers the
+full commodity set ``S``.  On arrival it either connects the whole request to
+the nearest open large facility or, if opening at the request's own location
+is cheaper, opens a new large facility there.
+
+The baseline brackets the design space from above: it is wasteful whenever
+requests demand few commodities but opening all of ``S`` is expensive
+(linear-cost regime, x = 2 in the class ``C``), complementing the
+no-prediction baseline which is wasteful in the opposite regime.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.core.assignment import Assignment
+from repro.core.instance import Instance
+from repro.core.requests import Request
+from repro.core.state import OnlineState
+
+__all__ = ["AlwaysLargeGreedy"]
+
+
+class AlwaysLargeGreedy(OnlineAlgorithm):
+    """Greedy baseline that only ever opens facilities offering all of ``S``."""
+
+    randomized = False
+
+    def __init__(self) -> None:
+        self.name = "always-large-greedy"
+
+    def process(self, request: Request, state: OnlineState, rng) -> None:
+        cost_function = state.instance.cost_function
+        nearest = state.nearest_large(request.point)
+        open_cost = cost_function.full_cost(request.point)
+        if nearest is not None and nearest[1] <= open_cost:
+            facility = nearest[0]
+        else:
+            facility = state.open_large_facility(request, request.point)
+        state.assign_to_single_facility(request, facility)

@@ -1,0 +1,187 @@
+"""Fotakis' deterministic primal–dual algorithm for online facility location.
+
+Fotakis (2007) gave a simple primal–dual online algorithm for the classical
+(single-commodity) Online Facility Location Problem that is O(log n)
+competitive; it is the basis of the paper's deterministic algorithm
+(Section 3.1: "It is inspired by the primal dual formulation of Fotakis'
+deterministic algorithm [5] for the OFLP presented in [14]").
+
+Two artifacts live here:
+
+* :class:`SingleCommodityPrimalDual` — a self-contained helper that runs the
+  primal–dual logic for *one* commodity against its own private facility set.
+  It is reused by the per-commodity decomposition baseline
+  (:class:`~repro.algorithms.online.per_commodity.PerCommodityAlgorithm`).
+* :class:`FotakisOFLAlgorithm` — the classical OFL algorithm as an
+  :class:`~repro.algorithms.base.OnlineAlgorithm` for instances with
+  ``|S| = 1`` (used by the substrate sanity experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.core.assignment import Assignment
+from repro.core.instance import Instance
+from repro.core.requests import Request
+from repro.core.state import OnlineState
+from repro.exceptions import AlgorithmError
+from repro.metric.base import MetricSpace
+
+__all__ = ["SingleCommodityPrimalDual", "FotakisOFLAlgorithm"]
+
+
+@dataclass
+class _HistoryEntry:
+    """One earlier demand seen by the single-commodity primal–dual helper."""
+
+    point: int
+    dual: float
+    nearest_distance: float  # distance to the helper's nearest own facility
+
+
+class SingleCommodityPrimalDual:
+    """Primal–dual online facility location for a single commodity.
+
+    The helper owns a private list of facility locations (the facilities *it*
+    decided to open); mapping those decisions onto real
+    :class:`~repro.core.facility.Facility` objects is the caller's job.
+
+    Parameters
+    ----------
+    metric:
+        The underlying metric space.
+    opening_costs:
+        Vector of facility opening costs per point for this commodity.
+    """
+
+    def __init__(self, metric: MetricSpace, opening_costs: Sequence[float]) -> None:
+        costs = np.asarray(opening_costs, dtype=np.float64)
+        if costs.shape != (metric.num_points,):
+            raise AlgorithmError(
+                f"opening_costs must have one entry per point, got shape {costs.shape}"
+            )
+        self._metric = metric
+        self._costs = costs
+        self._history: List[_HistoryEntry] = []
+        self._facility_points: List[int] = []
+        self._row_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def facility_points(self) -> List[int]:
+        return list(self._facility_points)
+
+    @property
+    def duals(self) -> List[float]:
+        """Dual value raised for each processed demand, in arrival order."""
+        return [entry.dual for entry in self._history]
+
+    def _row(self, point: int) -> np.ndarray:
+        row = self._row_cache.get(point)
+        if row is None:
+            row = np.asarray(self._metric.distances_from(point), dtype=np.float64)
+            self._row_cache[point] = row
+        return row
+
+    def _nearest_own_facility(self, point: int) -> Tuple[Optional[int], float]:
+        """(index into facility_points, distance) of the nearest own facility."""
+        if not self._facility_points:
+            return None, float("inf")
+        distances = self._metric.distances_between(point, self._facility_points)
+        best = int(np.argmin(distances))
+        return best, float(distances[best])
+
+    # ------------------------------------------------------------------
+    def decide(self, point: int) -> Tuple[str, int, float]:
+        """Process a demand at ``point``.
+
+        Returns ``(kind, facility_slot, dual)`` where ``kind`` is ``"connect"``
+        (serve from the existing own facility with index ``facility_slot``) or
+        ``"open"`` (a new own facility was opened at point ``facility_slot``
+        — note the different meaning — and the demand is served from it).
+        """
+        row = self._row(point)
+        _, nearest_distance = self._nearest_own_facility(point)
+
+        # Bid sum of earlier demands towards every point (constraint (3) with
+        # a single commodity).
+        if self._history:
+            bids = np.array(
+                [min(entry.dual, entry.nearest_distance) for entry in self._history],
+                dtype=np.float64,
+            )
+            rows = np.vstack([self._row(entry.point) for entry in self._history])
+            base = np.maximum(bids[:, None] - rows, 0.0).sum(axis=0)
+        else:
+            base = np.zeros(self._metric.num_points, dtype=np.float64)
+        slack = np.maximum(self._costs - base, 0.0)
+        open_trigger = row + slack
+        open_point = int(np.argmin(open_trigger))
+        open_level = float(open_trigger[open_point])
+
+        if nearest_distance <= open_level + 1e-12:
+            dual = nearest_distance
+            slot, _ = self._nearest_own_facility(point)
+            kind, payload = "connect", int(slot)
+        else:
+            dual = open_level
+            self._facility_points.append(open_point)
+            kind, payload = "open", open_point
+
+        # Update history (the new demand's nearest distance reflects the
+        # facility set after its own processing).
+        _, new_nearest = self._nearest_own_facility(point)
+        for entry in self._history:
+            if kind == "open":
+                entry.nearest_distance = min(
+                    entry.nearest_distance, float(self._row(open_point)[entry.point])
+                )
+        self._history.append(_HistoryEntry(point=point, dual=dual, nearest_distance=new_nearest))
+        return kind, payload, dual
+
+
+class FotakisOFLAlgorithm(OnlineAlgorithm):
+    """Classical online facility location (single commodity, deterministic).
+
+    Only valid on instances with ``|S| = 1`` where every request demands the
+    unique commodity; use
+    :class:`~repro.algorithms.online.per_commodity.PerCommodityAlgorithm` for
+    the multi-commodity decomposition baseline.
+    """
+
+    randomized = False
+
+    def __init__(self) -> None:
+        self.name = "fotakis-ofl"
+        self._helper: Optional[SingleCommodityPrimalDual] = None
+        self._facility_of_slot: Dict[int, int] = {}
+
+    def prepare(self, instance: Instance, state: OnlineState, rng) -> None:
+        if instance.num_commodities != 1:
+            raise AlgorithmError(
+                "FotakisOFLAlgorithm requires |S| = 1; got "
+                f"|S| = {instance.num_commodities}"
+            )
+        costs = instance.cost_function.costs_over_points((0,), list(range(instance.num_points)))
+        self._helper = SingleCommodityPrimalDual(instance.metric, costs)
+        self._facility_of_slot = {}
+
+    def process(self, request: Request, state: OnlineState, rng) -> None:
+        if self._helper is None:
+            raise AlgorithmError("prepare() was not called before process()")
+        kind, payload, _ = self._helper.decide(request.point)
+        if kind == "open":
+            facility = state.open_facility(request, payload, (0,))
+            slot = len(self._helper.facility_points) - 1
+            self._facility_of_slot[slot] = facility.id
+            facility_id = facility.id
+        else:
+            facility_id = self._facility_of_slot[payload]
+        assignment = Assignment(request_index=request.index)
+        assignment.assign(0, facility_id)
+        state.record_assignment(request, assignment)

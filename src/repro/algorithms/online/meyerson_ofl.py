@@ -1,0 +1,172 @@
+"""Meyerson's randomized algorithm for online facility location.
+
+Meyerson (FOCS 2001) opens, when a demand arrives, a facility with probability
+proportional to the connection cost the demand would otherwise pay; for
+non-uniform facility costs the decision is spread over power-of-two cost
+classes.  The algorithm is O(log n / log log n)-competitive against adversarial
+sequences and constant-competitive for random order; it is the basis of the
+paper's RAND-OMFLP (Section 4).
+
+As with the deterministic substrate, the reusable logic lives in a
+self-contained helper (:class:`SingleCommodityMeyerson`) so that the
+per-commodity decomposition baseline can instantiate one per commodity, and a
+thin :class:`MeyersonOFLAlgorithm` exposes the classical single-commodity
+algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.core.assignment import Assignment
+from repro.core.instance import Instance
+from repro.core.requests import Request
+from repro.core.state import OnlineState
+from repro.exceptions import AlgorithmError
+from repro.metric.base import MetricSpace
+from repro.utils.maths import round_down_power_of_two
+
+__all__ = ["SingleCommodityMeyerson", "MeyersonOFLAlgorithm"]
+
+
+class SingleCommodityMeyerson:
+    """Meyerson's randomized online facility location for one commodity.
+
+    The helper owns its private facility list; the caller maps opened
+    facilities onto real state facilities.
+    """
+
+    def __init__(self, metric: MetricSpace, opening_costs: Sequence[float]) -> None:
+        costs = np.asarray(opening_costs, dtype=np.float64)
+        if costs.shape != (metric.num_points,):
+            raise AlgorithmError(
+                f"opening_costs must have one entry per point, got shape {costs.shape}"
+            )
+        self._metric = metric
+        rounded = np.array([round_down_power_of_two(float(c)) for c in costs])
+        self._rounded = rounded
+        values = sorted(set(float(v) for v in rounded))
+        self._class_values: List[float] = values
+        # cumulative point sets: points whose rounded cost is <= class value
+        self._class_points: List[np.ndarray] = [
+            np.where(rounded <= value)[0].astype(np.intp) for value in values
+        ]
+        self._facility_points: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def facility_points(self) -> List[int]:
+        return list(self._facility_points)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._class_values)
+
+    def class_value(self, index: int) -> float:
+        """``C_i`` for the 1-based class index."""
+        return self._class_values[index - 1]
+
+    def distance_to_class(self, index: int, point: int) -> float:
+        """Distance to the nearest point of rounded cost at most ``C_i``."""
+        points = self._class_points[index - 1]
+        return float(np.min(self._metric.distances_between(point, list(points))))
+
+    def nearest_point_of_class(self, index: int, point: int) -> int:
+        points = list(self._class_points[index - 1])
+        nearest, _ = self._metric.nearest(point, points)
+        return int(nearest)
+
+    def nearest_own_facility(self, point: int) -> Tuple[Optional[int], float]:
+        if not self._facility_points:
+            return None, float("inf")
+        distances = self._metric.distances_between(point, self._facility_points)
+        best = int(np.argmin(distances))
+        return best, float(distances[best])
+
+    def connection_budget(self, point: int) -> float:
+        """``X(r) = min{d(F, r), min_i (C_i + d(C_i, r))}`` for a demand at ``point``."""
+        _, nearest = self.nearest_own_facility(point)
+        cheapest_open = min(
+            self.class_value(i) + self.distance_to_class(i, point)
+            for i in range(1, self.num_classes + 1)
+        )
+        return min(nearest, cheapest_open)
+
+    # ------------------------------------------------------------------
+    def decide(self, point: int, rng, *, budget: Optional[float] = None) -> Tuple[List[int], int, float]:
+        """Process a demand at ``point``.
+
+        ``budget`` overrides the class-0 distance ``d(C_0, r)`` (RAND-OMFLP
+        passes ``min{X(r), Z(r)} * X(r, e) / X(r)`` here); the default is the
+        demand's own connection budget ``X(r)``.
+
+        Returns ``(opened_points, facility_slot, connection_distance)`` where
+        ``facility_slot`` indexes the helper's facility list for the facility
+        the demand connects to.
+        """
+        effective_budget = self.connection_budget(point) if budget is None else float(budget)
+        opened: List[int] = []
+        previous_distance = effective_budget
+        for i in range(1, self.num_classes + 1):
+            value = self.class_value(i)
+            distance_i = self.distance_to_class(i, point)
+            increment = previous_distance - distance_i
+            previous_distance = distance_i
+            if value <= 0:
+                probability = 1.0 if increment > 0 else 0.0
+            else:
+                probability = min(max(increment / value, 0.0), 1.0)
+            if probability > 0 and rng.uniform() < probability:
+                opened.append(self.nearest_point_of_class(i, point))
+        for new_point in opened:
+            self._facility_points.append(int(new_point))
+        if not self._facility_points:
+            # Feasibility fallback: open the cheapest opening option
+            # deterministically (changes constants only, see DESIGN.md §4.2).
+            best_i = min(
+                range(1, self.num_classes + 1),
+                key=lambda i: self.class_value(i) + self.distance_to_class(i, point),
+            )
+            fallback = self.nearest_point_of_class(best_i, point)
+            self._facility_points.append(int(fallback))
+            opened.append(int(fallback))
+        slot, distance = self.nearest_own_facility(point)
+        return opened, int(slot), float(distance)
+
+
+class MeyersonOFLAlgorithm(OnlineAlgorithm):
+    """Classical randomized online facility location (single commodity)."""
+
+    randomized = True
+
+    def __init__(self) -> None:
+        self.name = "meyerson-ofl"
+        self._helper: Optional[SingleCommodityMeyerson] = None
+        self._facility_of_slot: Dict[int, int] = {}
+
+    def prepare(self, instance: Instance, state: OnlineState, rng) -> None:
+        if instance.num_commodities != 1:
+            raise AlgorithmError(
+                "MeyersonOFLAlgorithm requires |S| = 1; got "
+                f"|S| = {instance.num_commodities}"
+            )
+        costs = instance.cost_function.costs_over_points((0,), list(range(instance.num_points)))
+        self._helper = SingleCommodityMeyerson(instance.metric, costs)
+        self._facility_of_slot = {}
+
+    def process(self, request: Request, state: OnlineState, rng) -> None:
+        if self._helper is None:
+            raise AlgorithmError("prepare() was not called before process()")
+        before = len(self._helper.facility_points)
+        opened, slot, _ = self._helper.decide(request.point, rng)
+        # Open the real facilities for every new helper facility, in order.
+        helper_points = self._helper.facility_points
+        for new_slot in range(before, len(helper_points)):
+            facility = state.open_facility(request, helper_points[new_slot], (0,))
+            self._facility_of_slot[new_slot] = facility.id
+        assignment = Assignment(request_index=request.index)
+        assignment.assign(0, self._facility_of_slot[slot])
+        state.record_assignment(request, assignment)

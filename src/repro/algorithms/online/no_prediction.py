@@ -1,0 +1,47 @@
+"""No-prediction greedy baseline.
+
+Section 2 of the paper (discussion after Theorem 2): "if ALG does not predict,
+i.e., it only includes commodities that were already requested when building a
+facility, it builds √|S| facilities for a total price of √|S|" on the
+single-point adversary whose optimum costs 1 — i.e. prediction-free algorithms
+are Ω(√|S|)-competitive at best (and Ω(|S|) for cost functions with stronger
+economies of scale).
+
+This baseline never opens a facility offering a commodity that the current
+request does not demand.  Per demanded commodity it takes the locally cheaper
+of (a) connecting to the nearest open facility offering it and (b) opening a
+new small facility at the request's own location; it exists to make the lower
+bound's separation measurable.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.core.assignment import Assignment
+from repro.core.instance import Instance
+from repro.core.requests import Request
+from repro.core.state import OnlineState
+
+__all__ = ["NoPredictionGreedy"]
+
+
+class NoPredictionGreedy(OnlineAlgorithm):
+    """Greedy baseline that never offers undemanded commodities."""
+
+    randomized = False
+
+    def __init__(self) -> None:
+        self.name = "no-prediction-greedy"
+
+    def process(self, request: Request, state: OnlineState, rng) -> None:
+        cost_function = state.instance.cost_function
+        assignment = Assignment(request_index=request.index)
+        for commodity in sorted(request.commodities):
+            nearest = state.nearest_offering(commodity, request.point)
+            open_cost = cost_function.cost(request.point, (commodity,))
+            if nearest is not None and nearest[1] <= open_cost:
+                assignment.assign(commodity, nearest[0].id)
+            else:
+                facility = state.open_facility(request, request.point, (commodity,))
+                assignment.assign(commodity, facility.id)
+        state.record_assignment(request, assignment)

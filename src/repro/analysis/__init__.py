@@ -1,0 +1,38 @@
+"""Evaluation harness: competitive ratios, scaling fits, sweeps, tables.
+
+* :mod:`repro.analysis.competitive` — measure competitive ratios of online
+  algorithms against the offline reference portfolio (Definition 1 of the
+  paper), averaging randomized algorithms over seeds.
+* :mod:`repro.analysis.regression` — fit growth exponents (power laws in
+  ``|S|``, logarithmic growth in ``n``) to empirically check the *shape* of
+  the paper's bounds.
+* :mod:`repro.analysis.sweep` — parameter sweeps executed serially or through
+  the scatter/gather process pool.
+* :mod:`repro.analysis.tables` — plain-text / markdown table rendering used by
+  the experiment harness and the benchmarks' console output.
+* :mod:`repro.analysis.runner` — the :class:`ExperimentResult` container all
+  experiments return.
+"""
+
+from repro.analysis.competitive import (
+    CompetitiveMeasurement,
+    measure_competitive_ratio,
+    reference_cost,
+)
+from repro.analysis.regression import fit_log_growth, fit_power_law
+from repro.analysis.runner import ExperimentResult
+from repro.analysis.sweep import ParameterGrid, run_sweep
+from repro.analysis.tables import format_markdown_table, format_table
+
+__all__ = [
+    "CompetitiveMeasurement",
+    "measure_competitive_ratio",
+    "reference_cost",
+    "fit_power_law",
+    "fit_log_growth",
+    "ParameterGrid",
+    "run_sweep",
+    "format_table",
+    "format_markdown_table",
+    "ExperimentResult",
+]

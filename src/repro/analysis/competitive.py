@@ -1,0 +1,163 @@
+"""Competitive-ratio measurement (Definition 1 of the paper).
+
+The competitive ratio compares the online algorithm's cost against the
+optimal offline cost.  Exact OPT is only available for tiny instances, so
+:func:`reference_cost` assembles the best available reference from the
+offline-solver portfolio and records *which* reference was used and whether it
+is an upper bound, a lower bound or exact — the experiments propagate that
+label into their tables (see DESIGN.md, substitution notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.algorithms.base import OfflineResult, OnlineAlgorithm, run_online
+from repro.algorithms.offline.brute_force import BruteForceSolver
+from repro.algorithms.offline.greedy import GreedyOfflineSolver
+from repro.algorithms.offline.local_search import LocalSearchSolver
+from repro.core.instance import Instance
+from repro.exceptions import AlgorithmError, ExperimentError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.workloads.base import GeneratedWorkload
+
+__all__ = ["CompetitiveMeasurement", "measure_competitive_ratio", "reference_cost", "ReferenceCost"]
+
+
+@dataclass(frozen=True)
+class ReferenceCost:
+    """An offline reference cost plus its provenance."""
+
+    value: float
+    kind: str  # "exact", "upper-bound", "lower-bound", "analytic"
+    solver: str
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ExperimentError(f"reference cost must be non-negative, got {self.value}")
+
+
+@dataclass
+class CompetitiveMeasurement:
+    """Measured cost of one algorithm on one instance against one reference."""
+
+    algorithm: str
+    instance: str
+    reference: ReferenceCost
+    costs: List[float] = field(default_factory=list)
+    runtimes: List[float] = field(default_factory=list)
+
+    @property
+    def mean_cost(self) -> float:
+        return float(np.mean(self.costs)) if self.costs else float("nan")
+
+    @property
+    def std_cost(self) -> float:
+        return float(np.std(self.costs)) if self.costs else float("nan")
+
+    @property
+    def ratio(self) -> float:
+        if self.reference.value <= 0:
+            return float("inf")
+        return self.mean_cost / self.reference.value
+
+    @property
+    def mean_runtime(self) -> float:
+        return float(np.mean(self.runtimes)) if self.runtimes else float("nan")
+
+    def as_row(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "instance": self.instance,
+            "cost": self.mean_cost,
+            "cost_std": self.std_cost,
+            "reference_cost": self.reference.value,
+            "reference_kind": self.reference.kind,
+            "ratio": self.ratio,
+            "runtime_s": self.mean_runtime,
+        }
+
+
+def reference_cost(
+    workload_or_instance: Union[GeneratedWorkload, Instance],
+    *,
+    exact_limit_combinations: int = 50_000,
+    local_search_iterations: int = 15,
+    known_opt: Optional[float] = None,
+) -> ReferenceCost:
+    """Best available offline reference for an instance.
+
+    Preference order: an analytically known OPT (``known_opt``), exact brute
+    force when the search space is small enough, otherwise the cheaper of the
+    planted solution (when the workload provides one), offline greedy and
+    local search — all upper bounds on OPT, so ratios computed against them
+    over-estimate the competitive ratio.
+    """
+    if known_opt is not None:
+        return ReferenceCost(value=float(known_opt), kind="analytic", solver="known")
+    if isinstance(workload_or_instance, GeneratedWorkload):
+        workload: Optional[GeneratedWorkload] = workload_or_instance
+        instance = workload_or_instance.instance
+    else:
+        workload = None
+        instance = workload_or_instance
+
+    # Exact brute force when affordable.
+    try:
+        exact = BruteForceSolver(max_combinations=exact_limit_combinations).solve(instance)
+        return ReferenceCost(value=exact.total_cost, kind="exact", solver=exact.solver)
+    except AlgorithmError:
+        pass
+
+    candidates: List[OfflineResult] = []
+    if workload is not None:
+        planted = workload.planted_solver()
+        if planted is not None:
+            candidates.append(planted.solve(instance))
+    candidates.append(GreedyOfflineSolver().solve(instance))
+    if local_search_iterations > 0:
+        initial = None
+        if candidates:
+            best_so_far = min(candidates, key=lambda r: r.total_cost)
+            initial = [(f.point, f.configuration) for f in best_so_far.solution.facilities]
+        candidates.append(
+            LocalSearchSolver(
+                max_iterations=local_search_iterations, initial_specs=initial
+            ).solve(instance)
+        )
+    best = min(candidates, key=lambda r: r.total_cost)
+    return ReferenceCost(value=best.total_cost, kind="upper-bound", solver=best.solver)
+
+
+def measure_competitive_ratio(
+    algorithm: OnlineAlgorithm,
+    workload_or_instance: Union[GeneratedWorkload, Instance],
+    *,
+    reference: Optional[ReferenceCost] = None,
+    repeats: Optional[int] = None,
+    rng: RandomState = None,
+    known_opt: Optional[float] = None,
+) -> CompetitiveMeasurement:
+    """Run ``algorithm`` (repeatedly if randomized) and compare to the reference."""
+    instance = (
+        workload_or_instance.instance
+        if isinstance(workload_or_instance, GeneratedWorkload)
+        else workload_or_instance
+    )
+    generator = ensure_rng(rng)
+    if reference is None:
+        reference = reference_cost(workload_or_instance, known_opt=known_opt)
+    runs = repeats if repeats is not None else (5 if algorithm.randomized else 1)
+    if runs < 1:
+        raise ExperimentError("repeats must be at least 1")
+    measurement = CompetitiveMeasurement(
+        algorithm=algorithm.name, instance=instance.name, reference=reference
+    )
+    for _ in range(runs):
+        result = run_online(algorithm, instance, rng=generator)
+        measurement.costs.append(result.total_cost)
+        measurement.runtimes.append(result.runtime_seconds)
+    return measurement

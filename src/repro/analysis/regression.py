@@ -1,0 +1,91 @@
+"""Growth-rate fits used to compare measured scaling against the theory.
+
+The paper's bounds predict *shapes*: competitive ratios growing like
+``sqrt(|S|)`` (a power law with exponent 0.5 in ``|S|``) and like ``log n`` or
+``log n / log log n`` in the number of requests.  The experiments therefore
+fit
+
+* a power law ``y = a * x^b`` (log–log least squares) to ratio-vs-``|S|``
+  series, reporting the exponent ``b``, and
+* a logarithmic model ``y = a + b * log x`` to ratio-vs-``n`` series,
+  reporting the slope ``b`` and the correlation of the fit,
+
+and EXPERIMENTS.md records the fitted values next to the predicted ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["PowerLawFit", "LogGrowthFit", "fit_power_law", "fit_log_growth"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = prefactor * x ** exponent``."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.prefactor * float(x) ** self.exponent
+
+
+@dataclass(frozen=True)
+class LogGrowthFit:
+    """Least-squares fit of ``y = intercept + slope * log(x)``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * float(np.log(x))
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    if total <= 0:
+        return 1.0 if residual <= 1e-18 else 0.0
+    return 1.0 - residual / total
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = a * x^b`` by linear regression in log–log space."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ExperimentError("fit_power_law needs at least two (x, y) pairs of equal length")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ExperimentError("fit_power_law requires strictly positive data")
+    log_x, log_y = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = intercept + slope * log_x
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(np.exp(intercept)),
+        r_squared=_r_squared(log_y, predicted),
+    )
+
+
+def fit_log_growth(xs: Sequence[float], ys: Sequence[float]) -> LogGrowthFit:
+    """Fit ``y = a + b * log(x)`` by least squares."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ExperimentError("fit_log_growth needs at least two (x, y) pairs of equal length")
+    if np.any(x <= 0):
+        raise ExperimentError("fit_log_growth requires strictly positive x values")
+    log_x = np.log(x)
+    slope, intercept = np.polyfit(log_x, y, 1)
+    predicted = intercept + slope * log_x
+    return LogGrowthFit(
+        slope=float(slope), intercept=float(intercept), r_squared=_r_squared(y, predicted)
+    )

@@ -1,0 +1,88 @@
+"""The result container shared by all experiments."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_markdown_table, format_table
+from repro.exceptions import ExperimentError
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The identifier used in DESIGN.md / EXPERIMENTS.md (e.g.
+        ``"thm2-single-point"``).
+    title:
+        One-line description of what the experiment reproduces.
+    rows:
+        The regenerated table (list of flat dictionaries).
+    notes:
+        Free-form observations, including the expected qualitative outcome and
+        whether the measured shape matches it.
+    parameters:
+        The configuration the experiment ran with (profile, sizes, seeds).
+    extra_text:
+        Optional additional transcript (e.g. the Figure-1 / Figure-3 traces).
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    extra_text: Optional[str] = None
+
+    def to_table(self, *, columns: Optional[Sequence[str]] = None) -> str:
+        table = format_table(self.rows, columns=columns, title=f"[{self.experiment_id}] {self.title}")
+        sections = [table]
+        if self.notes:
+            sections.append("\n".join(f"note: {note}" for note in self.notes))
+        if self.extra_text:
+            sections.append(self.extra_text)
+        return "\n\n".join(sections)
+
+    def to_markdown(self, *, columns: Optional[Sequence[str]] = None) -> str:
+        header = f"### {self.experiment_id} — {self.title}\n"
+        table = format_markdown_table(self.rows, columns=columns)
+        notes = "\n".join(f"* {note}" for note in self.notes)
+        parts = [header, table]
+        if notes:
+            parts.append(notes)
+        if self.extra_text:
+            parts.append("```\n" + self.extra_text + "\n```")
+        return "\n\n".join(part for part in parts if part)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "parameters": self.parameters,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+    def save(self, directory: Path) -> Path:
+        """Write the JSON form to ``<directory>/<experiment_id>.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id}.json"
+        path.write_text(self.to_json())
+        return path
+
+    def require_rows(self) -> None:
+        if not self.rows:
+            raise ExperimentError(f"experiment {self.experiment_id} produced no rows")

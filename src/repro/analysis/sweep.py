@@ -1,0 +1,81 @@
+"""Parameter sweeps with optional process-based parallelism."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.parallel.pool import ParallelConfig, parallel_map
+
+__all__ = ["ParameterGrid", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """A cartesian grid of named parameter values.
+
+    Example
+    -------
+    >>> grid = ParameterGrid({"num_commodities": [16, 64], "seed": [0, 1, 2]})
+    >>> len(list(grid))
+    6
+    """
+
+    values: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ExperimentError("a parameter grid needs at least one parameter")
+        for name, options in self.values.items():
+            if len(list(options)) == 0:
+                raise ExperimentError(f"parameter {name!r} has no values")
+
+    def __iter__(self):
+        names = list(self.values.keys())
+        for combination in itertools.product(*(self.values[name] for name in names)):
+            yield dict(zip(names, combination))
+
+    def __len__(self) -> int:
+        length = 1
+        for options in self.values.values():
+            length *= len(list(options))
+        return length
+
+
+def run_sweep(
+    worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+    grid: ParameterGrid,
+    *,
+    workers: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Evaluate ``worker`` on every grid point, returning one row dict per point.
+
+    ``worker`` receives the parameter dictionary and must return a flat
+    dictionary (a table row); the sweep adds the input parameters to the row
+    so that downstream tables are self-describing.  With ``workers > 1`` the
+    evaluations are scattered over a process pool (``worker`` must then be a
+    module-level function).
+    """
+    points = list(grid)
+
+    def _wrapped(parameters: Dict[str, Any]) -> Dict[str, Any]:
+        row = dict(parameters)
+        row.update(worker(parameters))
+        return row
+
+    if workers is not None and workers > 1:
+        # A closure cannot cross process boundaries; run the worker remotely
+        # and merge the parameters locally instead.
+        results = parallel_map(
+            worker, points, config=ParallelConfig(workers=workers, chunk_size=chunk_size)
+        )
+        rows = []
+        for parameters, result in zip(points, results):
+            row = dict(parameters)
+            row.update(result)
+            rows.append(row)
+        return rows
+    return [_wrapped(parameters) for parameters in points]

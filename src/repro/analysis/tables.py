@@ -1,0 +1,83 @@
+"""Plain-text and markdown table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _format_value(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def _normalize_rows(
+    rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]]
+) -> tuple[List[str], List[List[str]]]:
+    if not rows:
+        return list(columns or []), []
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    return list(columns), rows  # type: ignore[return-value]
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows (list of dicts) as an aligned plain-text table."""
+    column_names, _ = _normalize_rows(rows, columns)
+    if not column_names or not rows:
+        return title or ""
+    cells = [
+        [_format_value(row.get(column, ""), float_format) for column in column_names]
+        for row in rows
+    ]
+    widths = [
+        max(len(column_names[i]), *(len(row[i]) for row in cells)) if cells else len(column_names[i])
+        for i in range(len(column_names))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(column_names))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(column_names))))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(column_names))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict[str, Any]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".4g",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    column_names, _ = _normalize_rows(rows, columns)
+    if not column_names or not rows:
+        return ""
+    lines = [
+        "| " + " | ".join(column_names) + " |",
+        "| " + " | ".join("---" for _ in column_names) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(_format_value(row.get(column, ""), float_format) for column in column_names)
+            + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Core OMFLP model: commodities, requests, facilities, solutions, instances.
+
+This subpackage is the executable form of Section 1.1 of the paper ("Model &
+Problem Definition"):
+
+* requests are located at points of a finite metric space and demand a set of
+  commodities ``s_r ⊆ S`` (:class:`~repro.core.requests.Request`);
+* facilities are opened at points with a configuration ``σ ⊆ S`` and cost
+  ``f^σ_m`` (:class:`~repro.core.facility.Facility`,
+  :class:`~repro.core.facility.FacilityStore`);
+* a request must be connected to a set of facilities jointly offering its
+  commodities, paying the sum of distances to the *distinct* facilities it is
+  connected to (:class:`~repro.core.assignment.Assignment`);
+* a solution is a set of opened facilities plus one assignment per request,
+  with total cost = construction + connection
+  (:class:`~repro.core.solution.Solution`);
+* an instance bundles the metric space, the cost function and the request
+  sequence (:class:`~repro.core.instance.Instance`);
+* :class:`~repro.core.state.OnlineState` is the mutable run-time state shared
+  by all online algorithms (open facilities, irrevocable assignments,
+  incremental cost accounting, event trace).
+"""
+
+from repro.core.assignment import Assignment
+from repro.core.commodities import CommodityUniverse
+from repro.core.facility import Facility, FacilityStore
+from repro.core.instance import Instance
+from repro.core.requests import Request, RequestSequence
+from repro.core.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.core.solution import Solution
+from repro.core.state import OnlineState
+from repro.core.trace import (
+    CoinFlipEvent,
+    DualFreezeEvent,
+    FacilityOpenedEvent,
+    RequestAssignedEvent,
+    Trace,
+    TraceEvent,
+)
+
+__all__ = [
+    "CommodityUniverse",
+    "Request",
+    "RequestSequence",
+    "Facility",
+    "FacilityStore",
+    "Assignment",
+    "Solution",
+    "Instance",
+    "OnlineState",
+    "Trace",
+    "TraceEvent",
+    "FacilityOpenedEvent",
+    "RequestAssignedEvent",
+    "DualFreezeEvent",
+    "CoinFlipEvent",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+]

@@ -1,0 +1,99 @@
+"""Assignment of one request to a set of facilities.
+
+Section 1.1: "Each request r ∈ R has to be connected to a set of facilities
+F′ ⊆ F such that every commodity requested by r is offered by at least one
+facility in F′.  The connection cost for r is then determined by the sum of
+the distances from r to every facility of F′."
+
+The assignment therefore records which facility serves each demanded
+commodity; the connection cost counts each *distinct* facility once, which is
+exactly the paper's primary cost model (the per-commodity cost model is
+obtained by splitting requests, see
+:meth:`repro.core.requests.RequestSequence.split_per_commodity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+
+from repro.core.facility import Facility
+from repro.core.requests import Request
+from repro.exceptions import InfeasibleSolutionError
+from repro.metric.base import MetricSpace
+
+__all__ = ["Assignment"]
+
+
+@dataclass
+class Assignment:
+    """Which facility serves each commodity of one request.
+
+    Attributes
+    ----------
+    request_index:
+        Index of the request this assignment belongs to.
+    facility_of_commodity:
+        Mapping from each demanded commodity to the id of the facility that
+        serves it.
+    """
+
+    request_index: int
+    facility_of_commodity: Dict[int, int] = field(default_factory=dict)
+
+    def assign(self, commodity: int, facility_id: int) -> None:
+        """Record that ``commodity`` is served by ``facility_id``."""
+        self.facility_of_commodity[int(commodity)] = int(facility_id)
+
+    def assigned_commodities(self) -> FrozenSet[int]:
+        return frozenset(self.facility_of_commodity.keys())
+
+    def facility_ids(self) -> FrozenSet[int]:
+        """The set ``F'`` of distinct facilities the request is connected to."""
+        return frozenset(self.facility_of_commodity.values())
+
+    def uses_single_facility(self) -> bool:
+        """True when all commodities are served by one facility (e.g. a large one)."""
+        return len(self.facility_ids()) == 1
+
+    # ------------------------------------------------------------------
+    def connection_cost(self, request: Request, facilities: Mapping[int, Facility], metric: MetricSpace) -> float:
+        """Sum of distances from the request to its distinct facilities."""
+        total = 0.0
+        for facility_id in self.facility_ids():
+            facility = facilities[facility_id]
+            total += metric.distance(request.point, facility.point)
+        return total
+
+    def validate(self, request: Request, facilities: Mapping[int, Facility]) -> None:
+        """Raise :class:`InfeasibleSolutionError` unless the assignment is feasible.
+
+        Feasibility means: every demanded commodity is assigned, no undemanded
+        commodity is assigned, every referenced facility exists and offers the
+        commodity it serves.
+        """
+        if self.request_index != request.index:
+            raise InfeasibleSolutionError(
+                f"assignment for request {self.request_index} validated against request {request.index}"
+            )
+        assigned = self.assigned_commodities()
+        missing = request.commodities - assigned
+        if missing:
+            raise InfeasibleSolutionError(
+                f"request {request.index}: commodities {sorted(missing)} are not served"
+            )
+        extra = assigned - request.commodities
+        if extra:
+            raise InfeasibleSolutionError(
+                f"request {request.index}: commodities {sorted(extra)} are assigned but not demanded"
+            )
+        for commodity, facility_id in self.facility_of_commodity.items():
+            if facility_id not in facilities:
+                raise InfeasibleSolutionError(
+                    f"request {request.index}: facility {facility_id} does not exist"
+                )
+            facility = facilities[facility_id]
+            if not facility.offers(commodity):
+                raise InfeasibleSolutionError(
+                    f"request {request.index}: facility {facility_id} does not offer commodity {commodity}"
+                )

@@ -1,0 +1,172 @@
+"""JSON (de)serialization of OMFLP instances.
+
+Benchmark instances need to be shareable: an experiment that found an
+interesting instance (e.g. a seed where an algorithm behaves badly) should be
+able to dump it to a file that another machine — or a future version of the
+library — can load bit-for-bit.  This module serializes
+
+* the metric space as its explicit distance matrix (every
+  :class:`~repro.metric.base.MetricSpace` can produce one; it is reloaded as
+  an :class:`~repro.metric.matrix.ExplicitMetric`),
+* the request sequence verbatim, and
+* the cost function for the count-based families used by the paper's
+  experiments (:class:`PowerCost`, :class:`LinearCost`, :class:`ConstantCost`,
+  :class:`AdversaryCost`, with optional per-point scales) and for
+  :class:`WeightedConcaveCost` with the default square-root transform.
+
+Cost functions outside these families raise a clear error instead of being
+silently approximated.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.commodities import CommodityUniverse
+from repro.core.instance import Instance
+from repro.core.requests import RequestSequence
+from repro.costs.base import FacilityCostFunction
+from repro.costs.count_based import AdversaryCost, ConstantCost, LinearCost, PowerCost
+from repro.costs.general import WeightedConcaveCost
+from repro.exceptions import InvalidInstanceError
+from repro.metric.matrix import ExplicitMetric
+
+__all__ = ["instance_to_dict", "instance_from_dict", "save_instance", "load_instance"]
+
+#: Serialization format version (bump on breaking changes).
+_FORMAT_VERSION = 1
+
+
+def _cost_to_dict(cost: FacilityCostFunction) -> Dict[str, Any]:
+    scales = getattr(cost, "_scales", None)
+    scales_list = None if scales is None else [float(s) for s in scales]
+    if isinstance(cost, PowerCost):
+        return {
+            "kind": "power",
+            "num_commodities": cost.num_commodities,
+            "exponent_x": cost.exponent_x,
+            "scale": cost.scale,
+            "point_scales": scales_list,
+        }
+    if isinstance(cost, LinearCost):
+        return {
+            "kind": "linear",
+            "num_commodities": cost.num_commodities,
+            "scale": cost.scale,
+            "point_scales": scales_list,
+        }
+    if isinstance(cost, ConstantCost):
+        return {
+            "kind": "constant",
+            "num_commodities": cost.num_commodities,
+            "scale": cost.scale,
+            "point_scales": scales_list,
+        }
+    if isinstance(cost, AdversaryCost):
+        return {
+            "kind": "adversary",
+            "num_commodities": cost.num_commodities,
+            "scale": cost.scale,
+            "point_scales": scales_list,
+        }
+    if isinstance(cost, WeightedConcaveCost):
+        return {
+            "kind": "weighted-concave-sqrt",
+            "weights": [float(w) for w in cost.weights],
+            "point_scales": scales_list,
+        }
+    raise InvalidInstanceError(
+        f"cost functions of type {type(cost).__name__} cannot be serialized; "
+        "supported: PowerCost, LinearCost, ConstantCost, AdversaryCost, "
+        "WeightedConcaveCost (sqrt transform)"
+    )
+
+
+def _cost_from_dict(data: Dict[str, Any]) -> FacilityCostFunction:
+    kind = data.get("kind")
+    scales = data.get("point_scales")
+    if kind == "power":
+        return PowerCost(
+            int(data["num_commodities"]),
+            float(data["exponent_x"]),
+            scale=float(data["scale"]),
+            point_scales=scales,
+        )
+    if kind == "linear":
+        return LinearCost(
+            int(data["num_commodities"]), scale=float(data["scale"]), point_scales=scales
+        )
+    if kind == "constant":
+        return ConstantCost(
+            int(data["num_commodities"]), scale=float(data["scale"]), point_scales=scales
+        )
+    if kind == "adversary":
+        return AdversaryCost(
+            int(data["num_commodities"]), scale=float(data["scale"]), point_scales=scales
+        )
+    if kind == "weighted-concave-sqrt":
+        return WeightedConcaveCost(data["weights"], point_scales=scales)
+    raise InvalidInstanceError(f"unknown serialized cost kind {kind!r}")
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+    """Serialize an instance into a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": instance.name,
+        "metric": {
+            "kind": "explicit",
+            "matrix": [
+                [float(v) for v in row] for row in instance.metric.pairwise_matrix()
+            ],
+        },
+        "cost_function": _cost_to_dict(instance.cost_function),
+        "requests": [
+            {"point": request.point, "commodities": sorted(request.commodities)}
+            for request in instance.requests
+        ],
+        "commodity_names": [
+            instance.commodities.name_of(e) for e in range(instance.num_commodities)
+        ],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> Instance:
+    """Reconstruct an instance from :func:`instance_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise InvalidInstanceError(
+            f"unsupported instance format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    metric_data = data.get("metric", {})
+    if metric_data.get("kind") != "explicit":
+        raise InvalidInstanceError(f"unknown serialized metric kind {metric_data.get('kind')!r}")
+    metric = ExplicitMetric(np.asarray(metric_data["matrix"], dtype=np.float64))
+    cost = _cost_from_dict(data["cost_function"])
+    requests = RequestSequence.from_tuples(
+        [(entry["point"], entry["commodities"]) for entry in data["requests"]]
+    )
+    names = data.get("commodity_names")
+    commodities = (
+        CommodityUniverse(cost.num_commodities, names=names)
+        if names and len(set(names)) == cost.num_commodities
+        else CommodityUniverse(cost.num_commodities)
+    )
+    return Instance(metric, cost, requests, commodities=commodities, name=data.get("name", "instance"))
+
+
+def save_instance(instance: Instance, path: Union[str, Path]) -> Path:
+    """Write an instance to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(instance_to_dict(instance), indent=2))
+    return path
+
+
+def load_instance(path: Union[str, Path]) -> Instance:
+    """Load an instance previously written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,71 @@
+"""Facility construction cost functions ``f^sigma_m``.
+
+Section 1.1 of the paper defines, for every point ``m`` of the metric space
+and every configuration ``sigma ⊆ S`` of commodities, a construction cost
+``f^sigma_m``.  The analysis relies on two structural properties:
+
+* **subadditivity** — ``f^{a∪b}_m ≤ f^a_m + f^b_m`` (always assumable, see
+  the discussion in Section 1.1), and
+* **Condition 1** — ``f^sigma_m / |sigma| ≥ f^S_m / |S|`` (the per-commodity
+  cost is minimized by the full configuration), which is what makes the
+  small/large facility dichotomy of both algorithms work.
+
+This subpackage provides the cost families used throughout the paper and its
+experiments:
+
+* :class:`~repro.costs.count_based.CountBasedCost` and its concrete factories
+  (:class:`PowerCost` for the class ``C = {g_x(k) = k^{x/2}}`` of Section 3.3,
+  :class:`LinearCost`, :class:`ConstantCost`,
+  :class:`~repro.costs.count_based.AdversaryCost` for Theorem 2's
+  ``⌈|σ|/√|S|⌉``),
+* general non-uniform costs (:class:`~repro.costs.general.WeightedConcaveCost`,
+  :class:`~repro.costs.general.PerPointScaledCost`,
+  :class:`~repro.costs.general.TabulatedCost`),
+* structured families from the related offline work
+  (:class:`~repro.costs.hierarchical.HierarchicalCost`,
+  :class:`~repro.costs.ordered.OrderedLinearCost`),
+* the power-of-two cost classes used by RAND-OMFLP
+  (:class:`~repro.costs.classes.CostClassIndex`), and
+* property checkers (:func:`~repro.costs.conditions.check_subadditivity`,
+  :func:`~repro.costs.conditions.check_condition_one`).
+"""
+
+from repro.costs.base import FacilityCostFunction
+from repro.costs.classes import CostClass, CostClassIndex
+from repro.costs.conditions import (
+    check_condition_one,
+    check_monotonicity,
+    check_subadditivity,
+)
+from repro.costs.count_based import (
+    AdversaryCost,
+    ConstantCost,
+    CountBasedCost,
+    LinearCost,
+    PowerCost,
+)
+from repro.costs.general import PerPointScaledCost, TabulatedCost, WeightedConcaveCost
+from repro.costs.heavy import detect_heavy_commodities, heavy_aware_pd
+from repro.costs.hierarchical import HierarchicalCost
+from repro.costs.ordered import OrderedLinearCost
+
+__all__ = [
+    "FacilityCostFunction",
+    "CountBasedCost",
+    "PowerCost",
+    "LinearCost",
+    "ConstantCost",
+    "AdversaryCost",
+    "WeightedConcaveCost",
+    "PerPointScaledCost",
+    "TabulatedCost",
+    "HierarchicalCost",
+    "OrderedLinearCost",
+    "CostClass",
+    "CostClassIndex",
+    "check_subadditivity",
+    "check_condition_one",
+    "check_monotonicity",
+    "detect_heavy_commodities",
+    "heavy_aware_pd",
+]

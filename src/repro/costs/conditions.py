@@ -1,0 +1,172 @@
+"""Structural property checkers for facility cost functions.
+
+The paper's analysis relies on subadditivity (always assumable, Section 1.1)
+and on Condition 1 (``f^sigma_m / |sigma| >= f^S_m / |S|``).  These checkers
+verify the properties either exhaustively (small ``|S|``) or on random
+sampled configurations (larger ``|S|``), and are used both by the test suite
+and by :class:`~repro.core.instance.Instance` validation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import InvalidCostFunctionError
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "check_subadditivity",
+    "check_condition_one",
+    "check_monotonicity",
+    "CostPropertyViolation",
+]
+
+#: Relative tolerance used by all checks.
+_TOLERANCE = 1e-9
+
+
+class CostPropertyViolation(InvalidCostFunctionError):
+    """Raised (optionally) when a structural property does not hold."""
+
+
+def _configurations_to_check(
+    num_commodities: int,
+    max_exhaustive: int,
+    samples: int,
+    rng: RandomState,
+) -> List[frozenset]:
+    """All non-empty configurations when |S| is small, otherwise a random sample."""
+    if num_commodities <= max_exhaustive:
+        configs: List[frozenset] = []
+        universe = list(range(num_commodities))
+        for size in range(1, num_commodities + 1):
+            configs.extend(frozenset(c) for c in itertools.combinations(universe, size))
+        return configs
+    generator = ensure_rng(rng)
+    configs = []
+    for _ in range(samples):
+        size = int(generator.integers(1, num_commodities + 1))
+        members = generator.choice(num_commodities, size=size, replace=False)
+        configs.append(frozenset(int(e) for e in members))
+    # Always include the singletons and the full set: they are the
+    # configurations the algorithms actually build.
+    configs.extend(frozenset((e,)) for e in range(num_commodities))
+    configs.append(frozenset(range(num_commodities)))
+    return configs
+
+
+def check_subadditivity(
+    cost: FacilityCostFunction,
+    points: Sequence[int],
+    *,
+    max_exhaustive: int = 8,
+    samples: int = 64,
+    rng: RandomState = None,
+    raise_on_violation: bool = False,
+) -> List[Tuple[int, frozenset, frozenset]]:
+    """Check ``f^{a∪b}_m <= f^a_m + f^b_m`` over the given points.
+
+    Returns the list of violating ``(point, a, b)`` triples (empty when the
+    function is subadditive on everything checked).
+    """
+    generator = ensure_rng(rng)
+    violations: List[Tuple[int, frozenset, frozenset]] = []
+    configs = _configurations_to_check(cost.num_commodities, max_exhaustive, samples, generator)
+    for point in points:
+        for config in configs:
+            if len(config) < 2:
+                continue
+            members = sorted(config)
+            # Check a handful of splits of the configuration; for exhaustive
+            # mode check all splits into (prefix, rest).
+            split_positions = range(1, len(members)) if len(members) <= 12 else [len(members) // 2]
+            for split in split_positions:
+                a = frozenset(members[:split])
+                b = frozenset(members[split:])
+                union_cost = cost.cost(point, config)
+                if union_cost > cost.cost(point, a) + cost.cost(point, b) + _TOLERANCE:
+                    violations.append((point, a, b))
+                    break
+    if violations and raise_on_violation:
+        point, a, b = violations[0]
+        raise CostPropertyViolation(
+            f"subadditivity violated at point {point}: f({sorted(a | b)}) > "
+            f"f({sorted(a)}) + f({sorted(b)})"
+        )
+    return violations
+
+
+def check_condition_one(
+    cost: FacilityCostFunction,
+    points: Sequence[int],
+    *,
+    max_exhaustive: int = 10,
+    samples: int = 128,
+    rng: RandomState = None,
+    raise_on_violation: bool = False,
+) -> List[Tuple[int, frozenset]]:
+    """Check Condition 1: ``f^sigma_m / |sigma| >= f^S_m / |S|``.
+
+    Returns the violating ``(point, sigma)`` pairs.
+    """
+    generator = ensure_rng(rng)
+    violations: List[Tuple[int, frozenset]] = []
+    configs = _configurations_to_check(cost.num_commodities, max_exhaustive, samples, generator)
+    size_s = float(cost.num_commodities)
+    for point in points:
+        full_rate = cost.full_cost(point) / size_s
+        for config in configs:
+            if not config:
+                continue
+            rate = cost.cost(point, config) / float(len(config))
+            if rate < full_rate - _TOLERANCE:
+                violations.append((point, config))
+    if violations and raise_on_violation:
+        point, config = violations[0]
+        raise CostPropertyViolation(
+            f"Condition 1 violated at point {point} for configuration {sorted(config)}: "
+            f"per-commodity cost {cost.cost(point, config) / len(config):.6g} < "
+            f"f^S_m / |S| = {cost.full_cost(point) / size_s:.6g}"
+        )
+    return violations
+
+
+def check_monotonicity(
+    cost: FacilityCostFunction,
+    points: Sequence[int],
+    *,
+    max_exhaustive: int = 8,
+    samples: int = 64,
+    rng: RandomState = None,
+    raise_on_violation: bool = False,
+) -> List[Tuple[int, frozenset, int]]:
+    """Check that adding a commodity never decreases the cost.
+
+    Monotonicity is not required by the paper's analysis but every natural
+    cost family satisfies it; the checker is used to catch malformed custom
+    cost functions early.  Returns violating ``(point, sigma, commodity)``.
+    """
+    generator = ensure_rng(rng)
+    violations: List[Tuple[int, frozenset, int]] = []
+    configs = _configurations_to_check(cost.num_commodities, max_exhaustive, samples, generator)
+    for point in points:
+        for config in configs:
+            base = cost.cost(point, config)
+            for commodity in range(cost.num_commodities):
+                if commodity in config:
+                    continue
+                extended = config | {commodity}
+                if cost.cost(point, extended) < base - _TOLERANCE:
+                    violations.append((point, config, commodity))
+                    break
+    if violations and raise_on_violation:
+        point, config, commodity = violations[0]
+        raise CostPropertyViolation(
+            f"monotonicity violated at point {point}: adding commodity {commodity} to "
+            f"{sorted(config)} decreases the cost"
+        )
+    return violations

@@ -1,0 +1,241 @@
+"""Cost functions that depend only on the number of offered commodities.
+
+Section 1.1 of the paper notes that a cost function depending only on
+``|sigma|`` together with subadditivity implies Condition 1; Section 3.3
+studies the concrete family ``C = {g_x(|sigma|) = |sigma|^{x/2} : x in [0,2]}``
+and Section 2 uses ``g(|sigma|) = ceil(|sigma| / sqrt(|S|))`` for the lower
+bound.  All of these are instances of :class:`CountBasedCost`, optionally
+scaled per point to model non-uniform opening costs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import InvalidCostFunctionError
+from repro.utils.maths import ceil_div
+
+__all__ = [
+    "CountBasedCost",
+    "PowerCost",
+    "LinearCost",
+    "ConstantCost",
+    "AdversaryCost",
+]
+
+
+class CountBasedCost(FacilityCostFunction):
+    """``f^sigma_m = point_scale[m] * shape(|sigma|)``.
+
+    Parameters
+    ----------
+    num_commodities:
+        Size of the commodity universe ``|S|``.
+    shape:
+        Callable mapping a configuration size ``k >= 0`` to a non-negative
+        cost.  ``shape(0)`` must be 0.
+    point_scales:
+        Optional per-point multiplier (length = number of metric points);
+        ``None`` means a uniform multiplier of 1 for every point, in which
+        case any point index is accepted.
+    name:
+        Optional human-readable name used in experiment tables.
+    """
+
+    def __init__(
+        self,
+        num_commodities: int,
+        shape: Callable[[int], float],
+        *,
+        point_scales: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(num_commodities)
+        self._shape = shape
+        if abs(float(shape(0))) > 1e-12:
+            raise InvalidCostFunctionError("shape(0) must be 0 (empty facilities are free)")
+        if point_scales is not None:
+            scales = np.asarray(point_scales, dtype=np.float64)
+            if scales.ndim != 1 or scales.size == 0:
+                raise InvalidCostFunctionError("point_scales must be a non-empty 1-D sequence")
+            if np.any(scales < 0) or not np.all(np.isfinite(scales)):
+                raise InvalidCostFunctionError("point_scales must be finite and non-negative")
+            self._scales: Optional[np.ndarray] = scales
+        else:
+            self._scales = None
+        self._name = name or type(self).__name__
+        # Precompute the shape table once: configuration sizes are bounded by
+        # |S| and the algorithms evaluate the same sizes over and over.
+        self._shape_table = np.array(
+            [float(shape(k)) for k in range(num_commodities + 1)], dtype=np.float64
+        )
+        if np.any(self._shape_table < 0) or not np.all(np.isfinite(self._shape_table)):
+            raise InvalidCostFunctionError("shape(k) must be finite and non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def point_scale(self, point: int) -> float:
+        if self._scales is None:
+            return 1.0
+        if not 0 <= point < self._scales.size:
+            raise InvalidCostFunctionError(
+                f"point {point} out of range [0, {self._scales.size}) for {self._name}"
+            )
+        return float(self._scales[point])
+
+    def shape_value(self, size: int) -> float:
+        """``shape(size)`` from the precomputed table."""
+        if not 0 <= size <= self.num_commodities:
+            raise InvalidCostFunctionError(
+                f"configuration size {size} out of range [0, {self.num_commodities}]"
+            )
+        return float(self._shape_table[size])
+
+    def cost(self, point: int, configuration: Iterable[int]) -> float:
+        config = self.normalize_configuration(configuration)
+        return self.point_scale(point) * self.shape_value(len(config))
+
+    def costs_over_points(self, configuration: Iterable[int], points: Sequence[int]) -> np.ndarray:
+        config = self.normalize_configuration(configuration)
+        shape_value = self.shape_value(len(config))
+        if self._scales is None:
+            return np.full(len(points), shape_value, dtype=np.float64)
+        point_array = np.asarray(points, dtype=np.intp)
+        return self._scales[point_array] * shape_value
+
+    def is_uniform_over_points(self) -> bool:
+        """True when every point has the same opening cost for every configuration."""
+        return self._scales is None or bool(np.all(self._scales == self._scales[0]))
+
+
+class PowerCost(CountBasedCost):
+    """The class ``C`` of Section 3.3: ``g_x(|sigma|) = scale * |sigma|^{x/2}``.
+
+    ``x = 0`` is the constant function, ``x = 1`` the square root and
+    ``x = 2`` the linear function.  Theorem 18 gives the competitive ratio of
+    PD-OMFLP as ``O(sqrt(|S|)^{(2x - x^2)/2} log n)`` for this class.
+    """
+
+    def __init__(
+        self,
+        num_commodities: int,
+        exponent_x: float,
+        *,
+        scale: float = 1.0,
+        point_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not 0.0 <= exponent_x <= 2.0:
+            raise InvalidCostFunctionError(
+                f"the class C is defined for x in [0, 2], got x = {exponent_x}"
+            )
+        if scale <= 0:
+            raise InvalidCostFunctionError(f"scale must be positive, got {scale}")
+        self.exponent_x = float(exponent_x)
+        self.scale = float(scale)
+        super().__init__(
+            num_commodities,
+            lambda k: 0.0 if k == 0 else scale * float(k) ** (exponent_x / 2.0),
+            point_scales=point_scales,
+            name=f"PowerCost(x={exponent_x:g})",
+        )
+
+    def predicted_upper_exponent(self) -> float:
+        """Exponent of ``sqrt(|S|)`` in the Theorem-18 upper bound: ``(2x - x^2)/2``."""
+        x = self.exponent_x
+        return (2.0 * x - x * x) / 2.0
+
+    def predicted_lower_exponent(self) -> float:
+        """Exponent of ``sqrt(|S|)`` in the Theorem-18 lower bound: ``min{(2-x)/2, x/2}``."""
+        x = self.exponent_x
+        return min((2.0 - x) / 2.0, x / 2.0)
+
+    def tuned_threshold(self) -> float:
+        """Optimal small/large switch-over ``a = sqrt(|S|)^x`` from Section 3.3.1."""
+        return float(math.sqrt(self.num_commodities) ** self.exponent_x)
+
+
+class LinearCost(CountBasedCost):
+    """Linear costs ``f^sigma_m = scale * |sigma|`` (``x = 2`` in the class C).
+
+    With linear costs combining commodities in one facility yields no saving,
+    so prediction is useless and the problem decomposes per commodity (the
+    O(log n) regime of Theorem 18).
+    """
+
+    def __init__(
+        self,
+        num_commodities: int,
+        *,
+        scale: float = 1.0,
+        point_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise InvalidCostFunctionError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        super().__init__(
+            num_commodities,
+            lambda k: scale * float(k),
+            point_scales=point_scales,
+            name="LinearCost",
+        )
+
+
+class ConstantCost(CountBasedCost):
+    """``f^sigma_m = scale`` for every non-empty configuration (``x = 0``).
+
+    Opening one commodity is as expensive as opening all of them, so there is
+    never a reason to distinguish small and large facilities; this is the
+    classical online facility location regime.
+    """
+
+    def __init__(
+        self,
+        num_commodities: int,
+        *,
+        scale: float = 1.0,
+        point_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise InvalidCostFunctionError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        super().__init__(
+            num_commodities,
+            lambda k: 0.0 if k == 0 else scale,
+            point_scales=point_scales,
+            name="ConstantCost",
+        )
+
+
+class AdversaryCost(CountBasedCost):
+    """The Theorem-2 lower-bound cost ``g(|sigma|) = ceil(|sigma| / sqrt(|S|))``.
+
+    The paper assumes ``sqrt(|S|)`` is an integer; for general ``|S|`` we use
+    ``floor(sqrt(|S|))`` as the denominator, which preserves the two facts the
+    proof uses: a facility covering the planted ``sqrt(|S|)``-sized set costs
+    ``1``, and covering ``T`` commodities costs at least ``T / sqrt(|S|)``.
+    """
+
+    def __init__(
+        self,
+        num_commodities: int,
+        *,
+        scale: float = 1.0,
+        point_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise InvalidCostFunctionError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        self.sqrt_block = max(int(math.isqrt(num_commodities)), 1)
+        super().__init__(
+            num_commodities,
+            lambda k: 0.0 if k == 0 else scale * float(ceil_div(int(k), self.sqrt_block)),
+            point_scales=point_scales,
+            name="AdversaryCost",
+        )

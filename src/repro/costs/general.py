@@ -1,0 +1,233 @@
+"""General non-uniform cost functions.
+
+These model the fully general ``f^sigma_m`` of the paper: costs that differ
+per point and per commodity, not only through the configuration size.  They
+are used by tests (to exercise the algorithms away from the comfortable
+count-based case) and by the service-network workload of the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import InvalidCostFunctionError
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["WeightedConcaveCost", "PerPointScaledCost", "TabulatedCost", "random_weighted_concave_cost"]
+
+
+class WeightedConcaveCost(FacilityCostFunction):
+    """``f^sigma_m = point_scale[m] * h(sum_{e in sigma} w_e)`` with ``h`` concave.
+
+    Each commodity ``e`` has a weight ``w_e > 0`` (its "size"); the cost of a
+    configuration is a concave transform ``h`` of the total weight, scaled per
+    point.  Concavity of ``h`` with ``h(0) = 0`` implies subadditivity.
+    Condition 1 holds when the weights are uniform; for skewed weights it may
+    fail, which is exactly the "heavy commodity" regime discussed in the
+    paper's closing remarks — use :func:`repro.costs.conditions.check_condition_one`
+    to verify before feeding such a function to the algorithms whose analysis
+    needs it.
+
+    Parameters
+    ----------
+    weights:
+        Positive weight per commodity; its length defines ``|S|``.
+    transform:
+        Concave, non-decreasing callable with ``transform(0) = 0``; default is
+        the square root.
+    point_scales:
+        Optional per-point multipliers.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        *,
+        transform: Callable[[float], float] = math.sqrt,
+        point_scales: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if weight_array.ndim != 1 or weight_array.size == 0:
+            raise InvalidCostFunctionError("weights must be a non-empty 1-D sequence")
+        if np.any(weight_array <= 0) or not np.all(np.isfinite(weight_array)):
+            raise InvalidCostFunctionError("commodity weights must be positive and finite")
+        super().__init__(int(weight_array.size))
+        self._weights = weight_array
+        self._transform = transform
+        if abs(float(transform(0.0))) > 1e-12:
+            raise InvalidCostFunctionError("transform(0) must be 0")
+        if point_scales is not None:
+            scales = np.asarray(point_scales, dtype=np.float64)
+            if np.any(scales < 0) or not np.all(np.isfinite(scales)):
+                raise InvalidCostFunctionError("point_scales must be finite and non-negative")
+            self._scales: Optional[np.ndarray] = scales
+        else:
+            self._scales = None
+        self._name = name or "WeightedConcaveCost"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def weights(self) -> np.ndarray:
+        view = self._weights.view()
+        view.flags.writeable = False
+        return view
+
+    def point_scale(self, point: int) -> float:
+        if self._scales is None:
+            return 1.0
+        if not 0 <= point < self._scales.size:
+            raise InvalidCostFunctionError(
+                f"point {point} out of range [0, {self._scales.size})"
+            )
+        return float(self._scales[point])
+
+    def cost(self, point: int, configuration: Iterable[int]) -> float:
+        config = self.normalize_configuration(configuration)
+        if not config:
+            return 0.0
+        total_weight = float(self._weights[np.fromiter(config, dtype=np.intp)].sum())
+        return self.point_scale(point) * float(self._transform(total_weight))
+
+    def costs_over_points(self, configuration: Iterable[int], points: Sequence[int]) -> np.ndarray:
+        config = self.normalize_configuration(configuration)
+        if not config:
+            return np.zeros(len(points), dtype=np.float64)
+        total_weight = float(self._weights[np.fromiter(config, dtype=np.intp)].sum())
+        base = float(self._transform(total_weight))
+        if self._scales is None:
+            return np.full(len(points), base, dtype=np.float64)
+        return self._scales[np.asarray(points, dtype=np.intp)] * base
+
+
+class PerPointScaledCost(FacilityCostFunction):
+    """Wrap any cost function with per-point multiplicative scales.
+
+    ``f^sigma_m = scales[m] * base.cost(0, sigma)`` — the base function is
+    evaluated at a fixed reference point, so wrap only point-uniform bases.
+    """
+
+    def __init__(self, base: FacilityCostFunction, scales: Sequence[float]) -> None:
+        super().__init__(base.num_commodities)
+        scale_array = np.asarray(scales, dtype=np.float64)
+        if scale_array.ndim != 1 or scale_array.size == 0:
+            raise InvalidCostFunctionError("scales must be a non-empty 1-D sequence")
+        if np.any(scale_array < 0) or not np.all(np.isfinite(scale_array)):
+            raise InvalidCostFunctionError("scales must be finite and non-negative")
+        self._base = base
+        self._scales = scale_array
+
+    @property
+    def base(self) -> FacilityCostFunction:
+        return self._base
+
+    def cost(self, point: int, configuration: Iterable[int]) -> float:
+        if not 0 <= point < self._scales.size:
+            raise InvalidCostFunctionError(
+                f"point {point} out of range [0, {self._scales.size})"
+            )
+        return float(self._scales[point]) * self._base.cost(0, configuration)
+
+    def costs_over_points(self, configuration: Iterable[int], points: Sequence[int]) -> np.ndarray:
+        base_value = self._base.cost(0, configuration)
+        return self._scales[np.asarray(points, dtype=np.intp)] * base_value
+
+
+class TabulatedCost(FacilityCostFunction):
+    """Explicitly tabulated costs for a (small) set of configurations.
+
+    Intended for hand-built regression tests and the brute-force offline
+    solver on tiny instances; configurations not present in the table fall
+    back to the cheapest *cover* by tabulated configurations (which keeps the
+    function subadditive by construction) or raise when no cover exists.
+    """
+
+    def __init__(
+        self,
+        num_commodities: int,
+        table: Mapping[Tuple[int, FrozenSet[int]], float],
+        *,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(num_commodities)
+        self._table: Dict[Tuple[int, FrozenSet[int]], float] = {}
+        for (point, config), value in table.items():
+            frozen = self.normalize_configuration(config)
+            if value < 0 or not math.isfinite(value):
+                raise InvalidCostFunctionError(
+                    f"tabulated cost for point {point}, configuration {sorted(frozen)} "
+                    f"must be finite and non-negative, got {value}"
+                )
+            self._table[(int(point), frozen)] = float(value)
+        self._strict = bool(strict)
+
+    def cost(self, point: int, configuration: Iterable[int]) -> float:
+        config = self.normalize_configuration(configuration)
+        if not config:
+            return 0.0
+        direct = self._table.get((point, config))
+        if direct is not None:
+            return direct
+        if self._strict:
+            raise InvalidCostFunctionError(
+                f"no tabulated cost for point {point} and configuration {sorted(config)}"
+            )
+        return self._cheapest_cover(point, config)
+
+    def _cheapest_cover(self, point: int, config: FrozenSet[int]) -> float:
+        """Greedy cover of ``config`` by tabulated configurations at ``point``."""
+        available = {
+            entry_config: value
+            for (entry_point, entry_config), value in self._table.items()
+            if entry_point == point and entry_config & config
+        }
+        if not available:
+            raise InvalidCostFunctionError(
+                f"configuration {sorted(config)} cannot be covered at point {point}"
+            )
+        remaining = set(config)
+        total = 0.0
+        while remaining:
+            best_config, best_ratio = None, math.inf
+            for entry_config, value in available.items():
+                gain = len(entry_config & remaining)
+                if gain == 0:
+                    continue
+                ratio = value / gain
+                if ratio < best_ratio:
+                    best_ratio, best_config = ratio, entry_config
+            if best_config is None:
+                raise InvalidCostFunctionError(
+                    f"configuration {sorted(config)} cannot be covered at point {point}"
+                )
+            total += available[best_config]
+            remaining -= best_config
+        return total
+
+
+def random_weighted_concave_cost(
+    num_commodities: int,
+    num_points: int,
+    *,
+    weight_spread: float = 1.0,
+    scale_spread: float = 1.0,
+    rng: RandomState = None,
+) -> WeightedConcaveCost:
+    """Random :class:`WeightedConcaveCost` for tests and experiments.
+
+    ``weight_spread = 0`` yields uniform commodity weights (so Condition 1
+    holds); larger spreads produce increasingly heterogeneous commodities.
+    """
+    if weight_spread < 0 or scale_spread < 0:
+        raise InvalidCostFunctionError("spreads must be non-negative")
+    generator = ensure_rng(rng)
+    weights = 1.0 + weight_spread * generator.uniform(0.0, 1.0, size=num_commodities)
+    scales = 1.0 + scale_spread * generator.uniform(0.0, 1.0, size=num_points)
+    return WeightedConcaveCost(weights, point_scales=scales)

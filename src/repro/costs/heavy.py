@@ -1,0 +1,143 @@
+"""Heavy-commodity detection (the closing remarks of the paper, Section 5).
+
+Condition 1 (``f^σ_m / |σ| ≥ f^S_m / |S|``) fails exactly when some
+commodities are *heavy*: adding them to a configuration increases the
+construction cost so much that the per-commodity price of the full set is no
+longer the cheapest.  The closing remarks suggest a simple remedy when only a
+few commodities are heavy: "run our algorithms in which the heavy commodities
+are excluded such that a large facility becomes one including all non-heavy
+commodities" — heavy commodities are then always served by small facilities.
+
+This module provides the two pieces needed to apply that remedy
+automatically:
+
+* :func:`detect_heavy_commodities` — identify the commodities whose removal
+  restores Condition 1 (greedy, most-expensive-first);
+* :func:`heavy_aware_pd` — construct a
+  :class:`~repro.algorithms.online.threshold.ThresholdPDAlgorithm` whose large
+  configuration excludes the detected heavy commodities.
+
+The ``heavy-commodities`` experiment measures the effect of the remedy on
+workloads with skewed service sizes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.base import FacilityCostFunction
+from repro.costs.conditions import check_condition_one
+from repro.exceptions import InvalidCostFunctionError
+from repro.utils.rng import RandomState
+
+__all__ = ["detect_heavy_commodities", "heavy_aware_pd", "condition_one_holds_without"]
+
+
+def condition_one_holds_without(
+    cost: FacilityCostFunction,
+    excluded: FrozenSet[int],
+    points: Sequence[int],
+    *,
+    samples: int = 64,
+    rng: RandomState = None,
+) -> bool:
+    """Does Condition 1 hold when restricted to ``S \\ excluded``?
+
+    The restricted condition compares ``f^σ_m / |σ|`` for configurations
+    ``σ ⊆ S \\ excluded`` against the per-commodity price of the restricted
+    "large" configuration ``S \\ excluded``.
+    """
+    remaining = sorted(set(range(cost.num_commodities)) - excluded)
+    if not remaining:
+        return True
+    large = frozenset(remaining)
+    large_rate = {
+        point: cost.cost(point, large) / float(len(large)) for point in points
+    }
+    violations = check_condition_one(cost, points, samples=samples, rng=rng)
+    for point, config in violations:
+        restricted = frozenset(config) - excluded
+        if not restricted:
+            continue
+        rate = cost.cost(point, restricted) / float(len(restricted))
+        if rate < large_rate[point] - 1e-9:
+            return False
+    # The sampled violation list may miss restricted configurations; check the
+    # singletons explicitly (they are the configurations the algorithm builds).
+    for point in points:
+        for commodity in remaining:
+            rate = cost.cost(point, (commodity,))
+            if rate < large_rate[point] - 1e-9:
+                return False
+    return True
+
+
+def detect_heavy_commodities(
+    cost: FacilityCostFunction,
+    points: Sequence[int],
+    *,
+    max_excluded: Optional[int] = None,
+    samples: int = 64,
+    rng: RandomState = None,
+) -> FrozenSet[int]:
+    """Greedily find a small set of commodities whose exclusion restores Condition 1.
+
+    Commodities are considered in order of decreasing singleton cost (averaged
+    over the given points) — the natural notion of "heavy" — and added to the
+    excluded set until the restricted Condition 1 holds or ``max_excluded``
+    commodities have been excluded (default: ``|S| - 1``; at least one
+    commodity always remains in the large configuration).
+
+    Returns the (possibly empty) excluded set.  When the cost function already
+    satisfies Condition 1 the result is empty.
+    """
+    if not points:
+        raise InvalidCostFunctionError("detect_heavy_commodities needs at least one point")
+    limit = max_excluded if max_excluded is not None else cost.num_commodities - 1
+    limit = min(limit, cost.num_commodities - 1)
+
+    if not check_condition_one(cost, points, samples=samples, rng=rng):
+        return frozenset()
+
+    mean_singleton = np.array(
+        [
+            float(np.mean([cost.cost(point, (commodity,)) for point in points]))
+            for commodity in range(cost.num_commodities)
+        ]
+    )
+    order = list(np.argsort(-mean_singleton, kind="stable"))
+
+    excluded: set = set()
+    for commodity in order:
+        if len(excluded) >= limit:
+            break
+        excluded.add(int(commodity))
+        if condition_one_holds_without(
+            cost, frozenset(excluded), points, samples=samples, rng=rng
+        ):
+            return frozenset(excluded)
+    return frozenset(excluded)
+
+
+def heavy_aware_pd(
+    cost: FacilityCostFunction,
+    points: Sequence[int],
+    *,
+    max_excluded: Optional[int] = None,
+    samples: int = 64,
+    rng: RandomState = None,
+):
+    """PD-OMFLP variant whose large configuration excludes detected heavy commodities.
+
+    Returns ``(algorithm, excluded)``; when no commodity is heavy the plain
+    PD-OMFLP behaviour is recovered (empty exclusion set).
+    """
+    from repro.algorithms.online.threshold import ThresholdPDAlgorithm
+
+    excluded = detect_heavy_commodities(
+        cost, points, max_excluded=max_excluded, samples=samples, rng=rng
+    )
+    algorithm = ThresholdPDAlgorithm(cost.num_commodities, excluded=excluded)
+    return algorithm, excluded

@@ -1,0 +1,154 @@
+"""Hierarchical facility costs in the spirit of Svitkina and Tardos.
+
+Section 1.2 of the paper cites Svitkina and Tardos (2010), who obtained a
+constant-factor offline approximation for *hierarchical* cost functions:
+opening costs are modeled by a tree whose leaves are the commodities and the
+cost of a configuration is the total weight of the subtree spanning the root
+and the configuration's leaves.  Such functions are always subadditive and
+monotone, and they satisfy Condition 1 whenever leaf-to-root paths have equal
+weight (e.g. balanced trees with level-uniform edge weights).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import InvalidCostFunctionError
+
+__all__ = ["HierarchicalCost"]
+
+
+class HierarchicalCost(FacilityCostFunction):
+    """Tree-defined configuration costs.
+
+    Parameters
+    ----------
+    tree:
+        A :class:`networkx.DiGraph` or undirected tree; ``root`` must be a
+        node, and every commodity ``0..|S|-1`` must appear as a leaf label via
+        ``leaf_of_commodity``.
+    root:
+        Root node of the hierarchy.
+    leaf_of_commodity:
+        Mapping commodity index -> leaf node.
+    weight:
+        Edge attribute carrying the edge cost (default 1.0 per edge).
+    point_scales:
+        Optional per-point multipliers, as for the count-based costs.
+    """
+
+    def __init__(
+        self,
+        tree: nx.Graph,
+        root,
+        leaf_of_commodity: Dict[int, object],
+        *,
+        weight: str = "weight",
+        point_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        undirected = tree.to_undirected() if tree.is_directed() else tree
+        if not nx.is_tree(undirected):
+            raise InvalidCostFunctionError("HierarchicalCost requires a tree")
+        if root not in undirected:
+            raise InvalidCostFunctionError(f"root {root!r} is not a node of the tree")
+        num_commodities = len(leaf_of_commodity)
+        if set(leaf_of_commodity.keys()) != set(range(num_commodities)):
+            raise InvalidCostFunctionError(
+                "leaf_of_commodity must map exactly the commodities 0..|S|-1"
+            )
+        super().__init__(num_commodities)
+        self._root = root
+        # Precompute, per commodity, the list of edges on its root path as
+        # (edge_id) indices into a weight vector, so configuration costs are
+        # unions of edge-id sets.
+        edge_ids: Dict[Tuple[object, object], int] = {}
+        weights: List[float] = []
+
+        def edge_id(u, v) -> int:
+            key = (u, v) if (u, v) in edge_ids else (v, u)
+            if key not in edge_ids:
+                edge_ids[key] = len(weights)
+                data = undirected.get_edge_data(u, v) or {}
+                value = float(data.get(weight, 1.0))
+                if value < 0:
+                    raise InvalidCostFunctionError(
+                        f"edge ({u!r}, {v!r}) has negative weight {value}"
+                    )
+                weights.append(value)
+            return edge_ids[key]
+
+        paths = nx.single_source_shortest_path(undirected, root)
+        self._path_edges: Dict[int, frozenset] = {}
+        for commodity, leaf in leaf_of_commodity.items():
+            if leaf not in paths:
+                raise InvalidCostFunctionError(f"leaf {leaf!r} is not connected to the root")
+            path = paths[leaf]
+            ids = frozenset(edge_id(path[i], path[i + 1]) for i in range(len(path) - 1))
+            self._path_edges[int(commodity)] = ids
+        self._edge_weights = np.asarray(weights, dtype=np.float64)
+        if point_scales is not None:
+            scales = np.asarray(point_scales, dtype=np.float64)
+            if np.any(scales < 0) or not np.all(np.isfinite(scales)):
+                raise InvalidCostFunctionError("point_scales must be finite and non-negative")
+            self._scales: Optional[np.ndarray] = scales
+        else:
+            self._scales = None
+
+    @classmethod
+    def balanced(
+        cls,
+        num_commodities: int,
+        *,
+        branching: int = 2,
+        edge_weight: float = 1.0,
+        point_scales: Optional[Sequence[float]] = None,
+    ) -> "HierarchicalCost":
+        """Balanced hierarchy over the commodities with uniform edge weights."""
+        if num_commodities <= 0:
+            raise InvalidCostFunctionError("num_commodities must be positive")
+        if branching < 2:
+            raise InvalidCostFunctionError("branching must be at least 2")
+        if edge_weight <= 0:
+            raise InvalidCostFunctionError("edge_weight must be positive")
+        tree = nx.Graph()
+        root = "root"
+        tree.add_node(root)
+        # Build levels until we have at least num_commodities leaves.
+        frontier = [root]
+        leaves: List[object] = []
+        counter = 0
+        while len(frontier) < num_commodities:
+            next_frontier: List[object] = []
+            for node in frontier:
+                for _ in range(branching):
+                    child = f"n{counter}"
+                    counter += 1
+                    tree.add_edge(node, child, weight=edge_weight)
+                    next_frontier.append(child)
+            frontier = next_frontier
+        leaves = frontier[:num_commodities]
+        leaf_of_commodity = {i: leaf for i, leaf in enumerate(leaves)}
+        return cls(tree, root, leaf_of_commodity, point_scales=point_scales)
+
+    def point_scale(self, point: int) -> float:
+        if self._scales is None:
+            return 1.0
+        if not 0 <= point < self._scales.size:
+            raise InvalidCostFunctionError(
+                f"point {point} out of range [0, {self._scales.size})"
+            )
+        return float(self._scales[point])
+
+    def cost(self, point: int, configuration: Iterable[int]) -> float:
+        config = self.normalize_configuration(configuration)
+        if not config:
+            return 0.0
+        edge_union: set = set()
+        for commodity in config:
+            edge_union |= self._path_edges[commodity]
+        total = float(self._edge_weights[np.fromiter(edge_union, dtype=np.intp)].sum())
+        return self.point_scale(point) * total

@@ -1,0 +1,86 @@
+"""Ordered linear facility costs in the spirit of Shmoys, Swamy and Levi.
+
+Section 1.2 cites Shmoys et al. (SODA 2004), who achieve a constant offline
+approximation when the cost function is *linear* (``f^{a∪b}_m = f^a_m +
+f^b_m`` for disjoint ``a, b``) and *ordered* across facility locations: the
+locations can be totally ordered so that every commodity is at least as
+expensive at a later location as at an earlier one.  This class realizes that
+family; it is used by the cost-function ablation experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import InvalidCostFunctionError
+
+__all__ = ["OrderedLinearCost"]
+
+
+class OrderedLinearCost(FacilityCostFunction):
+    """``f^sigma_m = sum_{e in sigma} price[m, e]`` with rows sorted by dominance.
+
+    Parameters
+    ----------
+    prices:
+        Array of shape ``(num_points, num_commodities)``; ``prices[m, e]`` is
+        the cost of installing commodity ``e`` at point ``m``.
+    enforce_ordered:
+        When true (default), verify that the points can be totally ordered by
+        dominance (row ``i`` elementwise <= row ``j`` or vice versa for every
+        pair); raise otherwise.
+    """
+
+    def __init__(self, prices: Sequence[Sequence[float]], *, enforce_ordered: bool = True) -> None:
+        price_array = np.asarray(prices, dtype=np.float64)
+        if price_array.ndim != 2 or price_array.size == 0:
+            raise InvalidCostFunctionError(
+                f"prices must have shape (num_points, num_commodities), got {price_array.shape}"
+            )
+        if np.any(price_array < 0) or not np.all(np.isfinite(price_array)):
+            raise InvalidCostFunctionError("prices must be finite and non-negative")
+        super().__init__(int(price_array.shape[1]))
+        self._prices = np.ascontiguousarray(price_array)
+        if enforce_ordered and not self._is_ordered():
+            raise InvalidCostFunctionError(
+                "prices are not ordered: no total dominance order over the points exists"
+            )
+
+    def _is_ordered(self) -> bool:
+        # Sort rows by their total price and verify consecutive dominance.
+        order = np.argsort(self._prices.sum(axis=1), kind="stable")
+        sorted_rows = self._prices[order]
+        diffs = np.diff(sorted_rows, axis=0)
+        return bool(np.all(diffs >= -1e-12))
+
+    @property
+    def num_points(self) -> int:
+        return int(self._prices.shape[0])
+
+    @property
+    def prices(self) -> np.ndarray:
+        view = self._prices.view()
+        view.flags.writeable = False
+        return view
+
+    def cost(self, point: int, configuration: Iterable[int]) -> float:
+        config = self.normalize_configuration(configuration)
+        if not config:
+            return 0.0
+        if not 0 <= point < self._prices.shape[0]:
+            raise InvalidCostFunctionError(
+                f"point {point} out of range [0, {self._prices.shape[0]})"
+            )
+        indices = np.fromiter(config, dtype=np.intp)
+        return float(self._prices[point, indices].sum())
+
+    def costs_over_points(self, configuration: Iterable[int], points: Sequence[int]) -> np.ndarray:
+        config = self.normalize_configuration(configuration)
+        if not config:
+            return np.zeros(len(points), dtype=np.float64)
+        indices = np.fromiter(config, dtype=np.intp)
+        point_array = np.asarray(points, dtype=np.intp)
+        return self._prices[np.ix_(point_array, indices)].sum(axis=1)

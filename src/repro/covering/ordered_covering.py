@@ -1,0 +1,186 @@
+"""The c-ordered covering problem (Definition 9) and its 2cH_n cover.
+
+Definition 9 of the paper: elements ``1, ..., n`` and a parameter ``c >= 1``.
+For element ``i`` two disjoint sets ``A_i, B_i ⊆ {1, ..., i-1}`` with
+``A_i ∪ B_i = {1, ..., i-1}`` are given, and for ``i < j`` it holds
+``B_i ⊆ B_j``.  The available covering sets are ``{i}`` with weight
+``c / (|B_i| + 1)`` and ``{i} ∪ A_i`` with weight ``c``.
+
+Lemma 12 shows that ``{1, ..., n}`` can always be covered with total weight at
+most ``2 c H_n``; the constructive procedure (Lemmas 10 and 11) repeatedly
+covers the *last block* — the maximal suffix of elements sharing the same
+``B`` set — with whichever of the two options is cheaper per covered element,
+removes the covered elements and recurses.  :func:`cover_ordered_instance`
+implements exactly that procedure and the test-suite checks the ``2 c H_n``
+bound on random instances (property-based).
+
+Elements are 0-based internally (``0, ..., n-1``); the docstrings keep the
+paper's 1-based phrasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.maths import harmonic_number
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "OrderedCoveringInstance",
+    "OrderedCoveringSolution",
+    "cover_ordered_instance",
+    "random_ordered_instance",
+]
+
+
+@dataclass(frozen=True)
+class OrderedCoveringInstance:
+    """A c-ordered covering instance.
+
+    Attributes
+    ----------
+    c:
+        The weight parameter ``c >= 1``.
+    b_sets:
+        ``b_sets[i]`` is ``B_i ⊆ {0, ..., i-1}``; ``A_i`` is implied as
+        ``{0, ..., i-1} \\ B_i``.
+    """
+
+    c: float
+    b_sets: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self) -> None:
+        if self.c < 1.0:
+            raise InvalidInstanceError(f"c-ordered covering requires c >= 1, got {self.c}")
+        previous: FrozenSet[int] = frozenset()
+        for i, b in enumerate(self.b_sets):
+            if not isinstance(b, frozenset):
+                object.__setattr__(self, "b_sets", tuple(frozenset(x) for x in self.b_sets))
+                b = self.b_sets[i]
+            if any(not 0 <= x < i for x in b):
+                raise InvalidInstanceError(
+                    f"B_{i} = {sorted(b)} must be a subset of {{0, ..., {i - 1}}}"
+                )
+            if not previous <= b:
+                raise InvalidInstanceError(
+                    f"B_{i - 1} must be a subset of B_{i} (ordered covering requires a chain)"
+                )
+            previous = b
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.b_sets)
+
+    def a_set(self, element: int) -> FrozenSet[int]:
+        """``A_i = {0, ..., i-1} \\ B_i``."""
+        return frozenset(range(element)) - self.b_sets[element]
+
+    def singleton_weight(self, element: int) -> float:
+        """Weight of the set ``{i}``: ``c / (|B_i| + 1)``."""
+        return self.c / (len(self.b_sets[element]) + 1)
+
+    def block_weight(self) -> float:
+        """Weight of any set ``{i} ∪ A_i``: ``c``."""
+        return self.c
+
+    def harmonic_bound(self) -> float:
+        """The Lemma-12 upper bound ``2 c H_n``."""
+        return 2.0 * self.c * harmonic_number(self.num_elements)
+
+
+@dataclass
+class OrderedCoveringSolution:
+    """A cover of the elements by the instance's sets.
+
+    ``chosen_sets`` lists ``(covered_elements, weight, kind)`` triples where
+    ``kind`` is ``"singleton"`` (a ``{i}`` set) or ``"block"`` (a
+    ``{i} ∪ A_i`` set).
+    """
+
+    chosen_sets: List[Tuple[FrozenSet[int], float, str]] = field(default_factory=list)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(weight for _, weight, _ in self.chosen_sets)
+
+    def covered_elements(self) -> FrozenSet[int]:
+        covered: Set[int] = set()
+        for elements, _, _ in self.chosen_sets:
+            covered |= elements
+        return frozenset(covered)
+
+    def is_cover_of(self, num_elements: int) -> bool:
+        return self.covered_elements() >= frozenset(range(num_elements))
+
+
+def cover_ordered_instance(instance: OrderedCoveringInstance) -> OrderedCoveringSolution:
+    """Cover all elements following the constructive proof of Lemma 12.
+
+    At each step the *last block* of the remaining instance — the maximal
+    suffix of surviving elements whose ``B`` set equals that of the last
+    surviving element — is covered either by the single set
+    ``{last} ∪ A_last`` (weight ``c``) or by one singleton set per block
+    element (weight ``c/(|B_last|+1)`` each), whichever is cheaper *per
+    covered element*.  Covered elements are removed (Lemma 11) and the
+    procedure repeats.  The resulting total weight is at most ``2 c H_n``.
+    """
+    n = instance.num_elements
+    solution = OrderedCoveringSolution()
+    if n == 0:
+        return solution
+    remaining: List[int] = list(range(n))
+    while remaining:
+        last = remaining[-1]
+        b_last = instance.b_sets[last]
+        # The last block: surviving elements with the same B set as `last`.
+        block = [i for i in remaining if instance.b_sets[i] == b_last]
+        a_last = instance.a_set(last)
+        # Option 1: the set {last} ∪ A_last, weight c, covers every surviving
+        # element that is either `last` itself or coped by it.
+        option1_covered = frozenset(i for i in remaining if i == last or i in a_last)
+        option1_weight_per_element = instance.c / max(len(option1_covered), 1)
+        # Option 2: one singleton per element of the last block.
+        option2_weight_per_element = instance.c / (len(b_last) + 1)
+
+        if option1_weight_per_element <= option2_weight_per_element:
+            solution.chosen_sets.append((option1_covered, instance.c, "block"))
+            covered = option1_covered
+        else:
+            covered = frozenset(block)
+            for element in block:
+                solution.chosen_sets.append(
+                    (frozenset((element,)), instance.singleton_weight(element), "singleton")
+                )
+        remaining = [i for i in remaining if i not in covered]
+    return solution
+
+
+def random_ordered_instance(
+    num_elements: int,
+    *,
+    c: float = 1.0,
+    growth_probability: float = 0.3,
+    rng: RandomState = None,
+) -> OrderedCoveringInstance:
+    """Random valid c-ordered covering instance (for tests and the benchmark).
+
+    The chain ``B_1 ⊆ B_2 ⊆ ...`` is grown left to right: before defining
+    ``B_i`` each earlier element not yet in the chain is added independently
+    with probability ``growth_probability``.
+    """
+    if num_elements < 0:
+        raise InvalidInstanceError(f"num_elements must be non-negative, got {num_elements}")
+    generator = ensure_rng(rng)
+    b_sets: List[FrozenSet[int]] = []
+    current: Set[int] = set()
+    for i in range(num_elements):
+        candidates = [j for j in range(i) if j not in current]
+        for j in candidates:
+            if generator.uniform() < growth_probability:
+                current.add(j)
+        b_sets.append(frozenset(current))
+    return OrderedCoveringInstance(c=c, b_sets=tuple(b_sets))

@@ -1,0 +1,40 @@
+"""Dual-LP bookkeeping: variables, feasibility checking, weak-duality bounds.
+
+The simplified dual of the OMFLP LP relaxation (Section 1.1 of the paper) is
+
+    max  sum_{r in R} sum_{e in s_r} a_{re}
+    s.t. sum_{r in R} ( sum_{e in s_r ∩ sigma} a_{re} - d(m, r) )_+  <=  f^sigma_m
+                                        for all points m and configurations sigma,
+         a_{re} >= 0.
+
+PD-OMFLP raises the variables ``a_{re}`` online; the analysis (Section 3.2)
+shows that its primal cost is at most ``3 * sum a_{re}`` (Corollary 8) and
+that scaling the duals by ``gamma = 1 / (5 sqrt(|S|) H_n)`` yields a feasible
+dual solution (Corollary 17), so weak duality bounds the competitive ratio.
+This subpackage makes that machinery executable:
+
+* :class:`~repro.dual.variables.DualVariableStore` records the ``a_{re}``;
+* :func:`~repro.dual.feasibility.check_dual_feasibility` verifies the dual
+  constraints (exactly for small ``|S|``, over a configuration family
+  otherwise) and :func:`~repro.dual.feasibility.max_feasible_scale` finds the
+  largest feasible scaling empirically;
+* :func:`~repro.dual.bounds.weak_duality_lower_bound` converts feasible scaled
+  duals into a certified lower bound on OPT, used by the duality experiment.
+"""
+
+from repro.dual.bounds import paper_scaling_factor, weak_duality_lower_bound
+from repro.dual.feasibility import (
+    DualFeasibilityReport,
+    check_dual_feasibility,
+    max_feasible_scale,
+)
+from repro.dual.variables import DualVariableStore
+
+__all__ = [
+    "DualVariableStore",
+    "DualFeasibilityReport",
+    "check_dual_feasibility",
+    "max_feasible_scale",
+    "weak_duality_lower_bound",
+    "paper_scaling_factor",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy of the OMFLP reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so that callers
+can distinguish modelling errors (infeasible assignments, invalid cost
+functions, malformed instances) from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidMetricError",
+    "InvalidCostFunctionError",
+    "InfeasibleSolutionError",
+    "InvalidInstanceError",
+    "AlgorithmError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidMetricError(ReproError):
+    """A metric space violates the metric axioms or received invalid points."""
+
+
+class InvalidCostFunctionError(ReproError):
+    """A facility cost function violates its declared structural properties."""
+
+
+class InvalidInstanceError(ReproError):
+    """An OMFLP instance is malformed (unknown points, empty commodity sets, ...)."""
+
+
+class InfeasibleSolutionError(ReproError):
+    """A solution leaves some request's commodity unserved or references unopened facilities."""
+
+
+class AlgorithmError(ReproError):
+    """An online or offline algorithm reached an internal inconsistency."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured inconsistently or produced invalid output."""

@@ -1,0 +1,15 @@
+"""Experiment registry: one module per reproduced figure / theorem-backed result.
+
+Every experiment module exposes
+
+``run(profile="quick", rng=None, workers=1) -> repro.analysis.runner.ExperimentResult``
+
+where ``profile`` is ``"quick"`` (small sizes, used by the test suite and the
+benchmark harness) or ``"full"`` (the sizes reported in EXPERIMENTS.md).  The
+mapping from experiment ids to paper artifacts lives in DESIGN.md §3; the
+measured outcomes are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+__all__ = ["get_experiment", "list_experiments", "run_experiment"]

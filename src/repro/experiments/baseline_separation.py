@@ -1,0 +1,127 @@
+"""Experiment ``baseline-separation`` — our algorithms vs the trivial decomposition.
+
+Section 1.3: solving an independent OFLP per commodity is
+O(|S| · log n / log log n)-competitive — a factor ≈ √|S| worse than PD-OMFLP /
+RAND-OMFLP on instances whose optimum bundles commodities.  The experiment
+makes that separation measurable on the cleanest such family: all ``|S|``
+commodities are requested one at a time at (or near) a single location, with a
+constant facility cost, so
+
+* OPT opens one facility offering everything (cost 1),
+* the per-commodity baseline opens ≈ |S| facilities (ratio ≈ |S|),
+* PD-OMFLP / RAND-OMFLP switch to a large facility after O(1) singleton
+  facilities (ratio O(1) for constant costs).
+
+A second block repeats the comparison with the Theorem-2 cost
+``⌈|σ|/√|S|⌉`` (ratios ≈ √|S| vs ≈ O(1)·√|S| — here every algorithm must pay
+√|S|, and the baseline pays another √|S| factor when the sequence covers all
+of S).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.online.no_prediction import NoPredictionGreedy
+from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+from repro.algorithms.online.per_commodity import PerCommodityAlgorithm
+from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+from repro.algorithms.base import run_online
+from repro.analysis.regression import fit_power_law
+from repro.analysis.runner import ExperimentResult
+from repro.core.instance import Instance
+from repro.core.requests import RequestSequence
+from repro.costs.count_based import AdversaryCost, ConstantCost
+from repro.metric.single_point import SinglePointMetric
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["run", "EXPERIMENT_ID"]
+
+EXPERIMENT_ID = "baseline-separation"
+TITLE = "Section 1.3: separation between PD/RAND and the per-commodity decomposition"
+
+
+def _all_commodities_instance(num_commodities: int, cost_kind: str, rng) -> tuple:
+    """All |S| commodities requested one at a time at a single point."""
+    order = rng.permutation(num_commodities)
+    requests = RequestSequence.from_tuples([(0, {int(e)}) for e in order])
+    if cost_kind == "constant":
+        cost = ConstantCost(num_commodities)
+    else:
+        cost = AdversaryCost(num_commodities)
+    instance = Instance(
+        SinglePointMetric(),
+        cost,
+        requests,
+        name=f"separation-{cost_kind}(|S|={num_commodities})",
+    )
+    opt = cost.cost(0, range(num_commodities))
+    return instance, float(opt)
+
+
+def run(
+    profile: str = "quick",
+    rng: RandomState = None,
+    workers: int = 1,
+) -> ExperimentResult:
+    generator = ensure_rng(rng)
+    if profile == "quick":
+        sizes = [16, 36, 64]
+        repeats = 2
+    else:
+        sizes = [16, 64, 256, 1024]
+        repeats = 5
+
+    factories: Dict[str, Callable[[], object]] = {
+        "pd-omflp": PDOMFLPAlgorithm,
+        "rand-omflp": RandOMFLPAlgorithm,
+        "per-commodity-fotakis": lambda: PerCommodityAlgorithm("fotakis"),
+        "per-commodity-meyerson": lambda: PerCommodityAlgorithm("meyerson"),
+        "no-prediction-greedy": NoPredictionGreedy,
+    }
+
+    rows: List[dict] = []
+    ratios: Dict[tuple, List[float]] = {}
+    for cost_kind in ("constant", "adversary"):
+        for num_commodities in sizes:
+            for name, factory in factories.items():
+                total = 0.0
+                opt = 1.0
+                for _ in range(repeats):
+                    instance, opt = _all_commodities_instance(
+                        num_commodities, cost_kind, generator
+                    )
+                    result = run_online(factory(), instance, rng=generator)
+                    total += result.total_cost
+                mean_cost = total / repeats
+                ratio = mean_cost / opt if opt > 0 else float("inf")
+                rows.append(
+                    {
+                        "cost_kind": cost_kind,
+                        "num_commodities": num_commodities,
+                        "algorithm": name,
+                        "mean_cost": mean_cost,
+                        "opt_cost": opt,
+                        "ratio": ratio,
+                    }
+                )
+                ratios.setdefault((cost_kind, name), []).append(ratio)
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        parameters={"sizes": sizes, "repeats": repeats, "profile": profile},
+    )
+    for (cost_kind, name), series in sorted(ratios.items()):
+        if len(series) >= 2 and all(v > 0 for v in series):
+            fit = fit_power_law(sizes, series)
+            result.notes.append(
+                f"[{cost_kind}] {name}: ratio grows like |S|^{fit.exponent:.3f}"
+            )
+    result.notes.append(
+        "expected shape (constant costs): per-commodity ~ |S|^1, pd/rand ~ |S|^0; "
+        "(adversary costs): every algorithm >= |S|^0.5, per-commodity another sqrt(|S|) worse"
+    )
+    result.require_rows()
+    return result

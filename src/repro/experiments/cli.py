@@ -1,0 +1,104 @@
+"""Command-line interface: ``omflp-experiments``.
+
+Examples
+--------
+List the registered experiments::
+
+    omflp-experiments list
+
+Run one experiment with the quick profile and print its table::
+
+    omflp-experiments run thm2-single-point --profile quick --seed 0
+
+Run every experiment and write JSON results to a directory::
+
+    omflp-experiments run-all --profile full --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="omflp-experiments",
+        description=(
+            "Reproduce the figures and theorem-backed results of 'The Online "
+            "Multi-Commodity Facility Location Problem' (SPAA 2020)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run a single experiment")
+    run_parser.add_argument("experiment_id", help="experiment id (see 'list')")
+    _add_run_options(run_parser)
+
+    all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
+    _add_run_options(all_parser)
+
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default="quick",
+        help="experiment size: 'quick' (seconds) or 'full' (the EXPERIMENTS.md sizes)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for parallel sweeps"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write <experiment_id>.json result files to",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="print markdown tables instead of plain text"
+    )
+
+
+def _run_and_report(experiment_id: str, args: argparse.Namespace) -> None:
+    result = run_experiment(
+        experiment_id, profile=args.profile, rng=args.seed, workers=args.workers
+    )
+    print(result.to_markdown() if args.markdown else result.to_table())
+    print()
+    if args.output is not None:
+        path = result.save(args.output)
+        print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        _run_and_report(args.experiment_id, args)
+        return 0
+    if args.command == "run-all":
+        for experiment_id in list_experiments():
+            _run_and_report(experiment_id, args)
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Experiment ``fotakis-ofl-regression`` — sanity of the single-commodity substrates.
+
+The paper's algorithms are built on Fotakis' deterministic primal–dual OFL and
+Meyerson's randomized OFL (Section 1.2).  Before trusting the multi-commodity
+results, this experiment checks that the two substrates behave as their own
+theory predicts on classical single-commodity workloads: the ratio against an
+offline reference stays small and grows at most logarithmically with ``n``
+(O(log n) for Fotakis' simple algorithm, O(log n / log log n) for Meyerson
+against adversarial order and O(1) for random order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.online.fotakis_ofl import FotakisOFLAlgorithm
+from repro.algorithms.online.meyerson_ofl import MeyersonOFLAlgorithm
+from repro.analysis.competitive import measure_competitive_ratio, reference_cost
+from repro.analysis.regression import fit_log_growth
+from repro.analysis.runner import ExperimentResult
+from repro.utils.rng import RandomState, ensure_rng
+from repro.workloads.uniform import uniform_workload
+
+__all__ = ["run", "EXPERIMENT_ID"]
+
+EXPERIMENT_ID = "fotakis-ofl-regression"
+TITLE = "Substrate sanity: Fotakis / Meyerson online facility location (|S| = 1)"
+
+
+def run(
+    profile: str = "quick",
+    rng: RandomState = None,
+    workers: int = 1,
+) -> ExperimentResult:
+    generator = ensure_rng(rng)
+    if profile == "quick":
+        n_sweep = [20, 40, 80]
+        seeds = [0, 1]
+        repeats = 3
+    else:
+        n_sweep = [50, 100, 200, 400, 800, 1600]
+        seeds = [0, 1, 2, 3]
+        repeats = 7
+
+    factories: Dict[str, Callable[[], object]] = {
+        "fotakis-ofl": FotakisOFLAlgorithm,
+        "meyerson-ofl": MeyersonOFLAlgorithm,
+    }
+
+    rows: List[dict] = []
+    ratios: Dict[str, Dict[int, List[float]]] = {name: {} for name in factories}
+    for n in n_sweep:
+        for seed in seeds:
+            workload = uniform_workload(
+                num_requests=n,
+                num_commodities=1,
+                num_points=32,
+                metric_kind="line",
+                max_demand=1,
+                cost_exponent_x=0.0,
+                cost_scale=0.25,
+                rng=seed,
+            )
+            reference = reference_cost(workload, local_search_iterations=5)
+            for name, factory in factories.items():
+                repeat_count = repeats if name == "meyerson-ofl" else 1
+                measurement = measure_competitive_ratio(
+                    factory(), workload, reference=reference, repeats=repeat_count, rng=generator
+                )
+                rows.append(
+                    {
+                        "num_requests": n,
+                        "seed": seed,
+                        "algorithm": name,
+                        "cost": measurement.mean_cost,
+                        "reference_cost": reference.value,
+                        "reference_kind": reference.kind,
+                        "ratio": measurement.ratio,
+                    }
+                )
+                ratios[name].setdefault(n, []).append(measurement.ratio)
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        parameters={"n_sweep": n_sweep, "seeds": seeds, "repeats": repeats, "profile": profile},
+    )
+    for name, series in ratios.items():
+        ns = sorted(series)
+        means = [sum(series[n]) / len(series[n]) for n in ns]
+        fit = fit_log_growth(ns, means)
+        result.notes.append(
+            f"{name}: ratio vs n fits {fit.intercept:.2f} + {fit.slope:.3f} log n "
+            f"(R^2 = {fit.r_squared:.2f}); both substrates admit O(log n)-type guarantees"
+        )
+    result.require_rows()
+    return result

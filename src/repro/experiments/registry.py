@@ -1,0 +1,70 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.analysis.runner import ExperimentResult
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    arrival_order,
+    baseline_separation,
+    cor3_combined,
+    covering_lemma,
+    duality_certificates,
+    fig2_bound_curves,
+    fig3_connection_trace,
+    heavy_commodities,
+    ofl_substrate,
+    thm2_single_point,
+    thm4_pd_scaling,
+    thm18_cost_class,
+    thm19_rand_scaling,
+)
+from repro.utils.rng import RandomState
+
+__all__ = ["list_experiments", "get_experiment", "run_experiment", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    fig2_bound_curves.EXPERIMENT_ID: fig2_bound_curves.run,
+    thm2_single_point.EXPERIMENT_ID: thm2_single_point.run,
+    cor3_combined.EXPERIMENT_ID: cor3_combined.run,
+    thm4_pd_scaling.EXPERIMENT_ID: thm4_pd_scaling.run,
+    thm19_rand_scaling.EXPERIMENT_ID: thm19_rand_scaling.run,
+    thm18_cost_class.EXPERIMENT_ID: thm18_cost_class.run,
+    baseline_separation.EXPERIMENT_ID: baseline_separation.run,
+    duality_certificates.EXPERIMENT_ID: duality_certificates.run,
+    covering_lemma.EXPERIMENT_ID: covering_lemma.run,
+    fig3_connection_trace.EXPERIMENT_ID: fig3_connection_trace.run,
+    ofl_substrate.EXPERIMENT_ID: ofl_substrate.run,
+    heavy_commodities.EXPERIMENT_ID: heavy_commodities.run,
+    arrival_order.EXPERIMENT_ID: arrival_order.run,
+}
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids, in DESIGN.md order."""
+    return list(EXPERIMENTS.keys())
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable of one experiment."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError as error:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from error
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    profile: str = "quick",
+    rng: RandomState = None,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    if profile not in ("quick", "full"):
+        raise ExperimentError(f"profile must be 'quick' or 'full', got {profile!r}")
+    return get_experiment(experiment_id)(profile=profile, rng=rng, workers=workers)

@@ -1,0 +1,167 @@
+"""Experiment ``thm4-pd-scaling`` — PD-OMFLP is O(√|S| · log n)-competitive.
+
+Two sweeps on clustered workloads (the structure OPT exploits):
+
+* **n-sweep** — fix ``|S|`` and grow the number of requests; Theorem 4
+  predicts the ratio to grow at most logarithmically in ``n``.  The experiment
+  fits ``ratio = a + b log n`` and reports the slope and fit quality.
+* **S-sweep** — fix ``n`` and grow ``|S|``; Theorem 4 predicts growth at most
+  like ``sqrt(|S|)``.  The experiment fits a power law ``ratio ∝ |S|^b`` and
+  reports the exponent (expected ≲ 0.5; on benign workloads it is typically
+  much smaller, the bound being a worst-case guarantee).
+
+Offline reference: exact brute force where affordable, otherwise the best of
+the planted, greedy and local-search solutions (an upper bound on OPT, so the
+reported ratios are conservative over-estimates — see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+from repro.analysis.competitive import measure_competitive_ratio, reference_cost
+from repro.analysis.regression import fit_log_growth, fit_power_law
+from repro.analysis.runner import ExperimentResult
+from repro.utils.rng import RandomState, ensure_rng
+from repro.workloads.clustered import clustered_workload
+
+__all__ = ["run", "EXPERIMENT_ID", "scaling_rows"]
+
+EXPERIMENT_ID = "thm4-pd-scaling"
+TITLE = "Theorem 4: PD-OMFLP competitive-ratio scaling in n and |S|"
+
+
+def scaling_rows(
+    algorithm_factory,
+    *,
+    n_sweep: List[int],
+    s_sweep: List[int],
+    fixed_s: int,
+    fixed_n: int,
+    seeds: List[int],
+    rng,
+    repeats: int = 1,
+) -> List[dict]:
+    """Shared sweep driver (also used by the Theorem-19 experiment)."""
+    rows: List[dict] = []
+    for n in n_sweep:
+        for seed in seeds:
+            workload = clustered_workload(
+                num_requests=n,
+                num_commodities=fixed_s,
+                num_clusters=max(2, fixed_s // 4),
+                rng=seed,
+            )
+            reference = reference_cost(workload, local_search_iterations=0)
+            measurement = measure_competitive_ratio(
+                algorithm_factory(), workload, reference=reference, repeats=repeats, rng=rng
+            )
+            rows.append(
+                {
+                    "sweep": "n",
+                    "num_requests": n,
+                    "num_commodities": fixed_s,
+                    "seed": seed,
+                    "algorithm": measurement.algorithm,
+                    "cost": measurement.mean_cost,
+                    "reference_cost": reference.value,
+                    "reference_kind": reference.kind,
+                    "ratio": measurement.ratio,
+                }
+            )
+    for s in s_sweep:
+        for seed in seeds:
+            workload = clustered_workload(
+                num_requests=fixed_n,
+                num_commodities=s,
+                num_clusters=max(2, s // 4),
+                rng=seed + 1000,
+            )
+            reference = reference_cost(workload, local_search_iterations=0)
+            measurement = measure_competitive_ratio(
+                algorithm_factory(), workload, reference=reference, repeats=repeats, rng=rng
+            )
+            rows.append(
+                {
+                    "sweep": "S",
+                    "num_requests": fixed_n,
+                    "num_commodities": s,
+                    "seed": seed,
+                    "algorithm": measurement.algorithm,
+                    "cost": measurement.mean_cost,
+                    "reference_cost": reference.value,
+                    "reference_kind": reference.kind,
+                    "ratio": measurement.ratio,
+                }
+            )
+    return rows
+
+
+def _mean_ratio_by(rows: List[dict], sweep: str, key: str) -> Dict[int, float]:
+    grouped: Dict[int, List[float]] = {}
+    for row in rows:
+        if row["sweep"] != sweep:
+            continue
+        grouped.setdefault(row[key], []).append(row["ratio"])
+    return {value: sum(r) / len(r) for value, r in sorted(grouped.items())}
+
+
+def append_scaling_notes(result: ExperimentResult, rows: List[dict], algorithm: str) -> None:
+    """Fit and record the n-growth slope and the |S|-growth exponent."""
+    n_means = _mean_ratio_by(rows, "n", "num_requests")
+    s_means = _mean_ratio_by(rows, "S", "num_commodities")
+    if len(n_means) >= 2:
+        fit = fit_log_growth(list(n_means.keys()), list(n_means.values()))
+        result.notes.append(
+            f"{algorithm}: ratio vs n fits {fit.intercept:.2f} + {fit.slope:.3f} log n "
+            f"(R^2 = {fit.r_squared:.2f}); Theorem 4/19 allow at most logarithmic growth"
+        )
+    if len(s_means) >= 2 and all(v > 0 for v in s_means.values()):
+        fit = fit_power_law(list(s_means.keys()), list(s_means.values()))
+        result.notes.append(
+            f"{algorithm}: ratio vs |S| grows like |S|^{fit.exponent:.3f} "
+            f"(R^2 = {fit.r_squared:.2f}); the upper bound allows exponent 0.5"
+        )
+
+
+def run(
+    profile: str = "quick",
+    rng: RandomState = None,
+    workers: int = 1,
+) -> ExperimentResult:
+    generator = ensure_rng(rng)
+    if profile == "quick":
+        n_sweep, s_sweep = [20, 40, 80], [4, 8, 16]
+        fixed_s, fixed_n = 8, 40
+        seeds = [0, 1]
+    else:
+        n_sweep, s_sweep = [50, 100, 200, 400, 800], [4, 8, 16, 32, 64]
+        fixed_s, fixed_n = 16, 200
+        seeds = [0, 1, 2, 3, 4]
+
+    rows = scaling_rows(
+        PDOMFLPAlgorithm,
+        n_sweep=n_sweep,
+        s_sweep=s_sweep,
+        fixed_s=fixed_s,
+        fixed_n=fixed_n,
+        seeds=seeds,
+        rng=generator,
+    )
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        parameters={
+            "n_sweep": n_sweep,
+            "s_sweep": s_sweep,
+            "fixed_s": fixed_s,
+            "fixed_n": fixed_n,
+            "seeds": seeds,
+            "profile": profile,
+        },
+    )
+    append_scaling_notes(result, rows, "pd-omflp")
+    result.require_rows()
+    return result

@@ -1,0 +1,38 @@
+"""Adversarial lower-bound constructions of Section 2 and Section 3.3.
+
+* :mod:`repro.lowerbound.single_point` — the Theorem-2 adversary: on a single
+  point, with facility cost ``g(|σ|) = ⌈|σ|/√|S|⌉``, a uniformly random
+  ``√|S|``-subset of commodities is requested one commodity at a time.  Any
+  online algorithm pays Ω(√|S|) in expectation while OPT pays 1.
+* :mod:`repro.lowerbound.fotakis_line` — an adaptive line adversary in the
+  spirit of Fotakis' Ω(log n / log log n) lower bound for online facility
+  location: requests recursively concentrate in the half-interval farthest
+  from the algorithm's facilities.
+* :mod:`repro.lowerbound.combined` — the Corollary-3 adversary combining both
+  (Ω(√|S| + log n / log log n) on a line metric).
+* :mod:`repro.lowerbound.adaptive` — the Theorem-18 adversary parametrized by
+  the cost-class exponent ``x`` (lower bound Ω(min{√|S|^{(2-x)/2}, √|S|^{x/2}})).
+"""
+
+from repro.lowerbound.adaptive import adaptive_lower_bound_instance, predicted_adaptive_ratio
+from repro.lowerbound.combined import CombinedGameResult, run_combined_lower_bound_game
+from repro.lowerbound.fotakis_line import AdaptiveLineGameResult, run_adaptive_line_game
+from repro.lowerbound.single_point import (
+    SinglePointGameResult,
+    predicted_single_point_ratio,
+    run_single_point_game,
+    single_point_instance,
+)
+
+__all__ = [
+    "single_point_instance",
+    "run_single_point_game",
+    "predicted_single_point_ratio",
+    "SinglePointGameResult",
+    "run_adaptive_line_game",
+    "AdaptiveLineGameResult",
+    "run_combined_lower_bound_game",
+    "CombinedGameResult",
+    "adaptive_lower_bound_instance",
+    "predicted_adaptive_ratio",
+]

@@ -1,0 +1,45 @@
+"""The Theorem-18 adversary for cost functions of the class ``C``.
+
+Section 3.3.2: for ``g_x(|σ|) = |σ|^{x/2}`` the single-point construction of
+Theorem 2 yields a lower bound of Ω(min{√|S|^{(2-x)/2}, √|S|^{x/2}}) — the
+algorithm pays at least ``min{√|S|, √|S|^x}/16`` in expectation while OPT pays
+``g_x(√|S|) = √|S|^{x/2}``.  The instance itself is the same game with the
+cost function swapped; this module wires the two together and exposes the
+predicted ratio so that the ``thm18-cost-class`` experiment can put measured
+and predicted values side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.core.instance import Instance
+from repro.costs.count_based import PowerCost
+from repro.exceptions import InvalidInstanceError
+from repro.lowerbound.single_point import single_point_instance
+from repro.utils.rng import RandomState
+
+__all__ = ["adaptive_lower_bound_instance", "predicted_adaptive_ratio"]
+
+
+def adaptive_lower_bound_instance(
+    num_commodities: int,
+    exponent_x: float,
+    *,
+    rng: RandomState = None,
+) -> Tuple[Instance, float]:
+    """Single-point game instance with the class-``C`` cost ``g_x``.
+
+    Returns ``(instance, opt_cost)`` with ``opt_cost = g_x(√|S|)``.
+    """
+    cost = PowerCost(num_commodities, exponent_x)
+    return single_point_instance(num_commodities, cost_function=cost, rng=rng)
+
+
+def predicted_adaptive_ratio(num_commodities: int, exponent_x: float) -> float:
+    """The Theorem-18 lower-bound shape ``min{√|S|^{(2-x)/2}, √|S|^{x/2}}``."""
+    if not 0.0 <= exponent_x <= 2.0:
+        raise InvalidInstanceError(f"x must lie in [0, 2], got {exponent_x}")
+    root = math.sqrt(num_commodities)
+    return min(root ** ((2.0 - exponent_x) / 2.0), root ** (exponent_x / 2.0))

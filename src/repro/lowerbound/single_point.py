@@ -1,0 +1,218 @@
+"""The single-point adversary of Theorem 2.
+
+Theorem 2: no randomized online algorithm can be better than Ω(√|S|)
+competitive, *even on a single point*.  The adversary fixes the facility cost
+``g(|σ|) = ⌈|σ| / √|S|⌉`` (so that a facility covering a √|S|-subset costs 1),
+draws a uniformly random subset ``S' ⊂ S`` of size √|S|, and requests its
+commodities one at a time (each commodity exactly once, in random order).
+The optimum opens a single facility with configuration ``S'`` for cost 1;
+the online algorithm either opens ≥ √|S|/2 facilities or must predict
+Ω(|S|) commodities in expectation — either way paying Ω(√|S|).
+
+Figure 1 of the paper illustrates the induced *rounds*: each time a not yet
+covered commodity arrives the algorithm opens a facility covering it plus some
+predicted commodities.  :func:`round_structure` recovers exactly this
+round/prediction structure from an execution trace, which is how the
+reproduction renders Figure 1 as data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import OnlineAlgorithm, OnlineResult, run_online
+from repro.core.instance import Instance
+from repro.core.requests import Request, RequestSequence
+from repro.core.trace import FacilityOpenedEvent
+from repro.costs.base import FacilityCostFunction
+from repro.costs.count_based import AdversaryCost
+from repro.exceptions import InvalidInstanceError
+from repro.metric.single_point import SinglePointMetric
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "single_point_instance",
+    "run_single_point_game",
+    "predicted_single_point_ratio",
+    "round_structure",
+    "SinglePointGameResult",
+    "GameRound",
+]
+
+
+def single_point_instance(
+    num_commodities: int,
+    *,
+    subset_size: Optional[int] = None,
+    cost_function: Optional[FacilityCostFunction] = None,
+    rng: RandomState = None,
+) -> Tuple[Instance, float]:
+    """Build one random instance of the Theorem-2 game.
+
+    Returns ``(instance, opt_cost)`` where ``opt_cost`` is the cost of the
+    optimal offline solution (a single facility covering exactly the requested
+    subset at the unique point).
+
+    Parameters
+    ----------
+    num_commodities:
+        ``|S|``; the default subset size is ``⌊√|S|⌋`` as in the paper.
+    subset_size:
+        Override for ``|S'|``.
+    cost_function:
+        Defaults to the Theorem-2 cost ``⌈|σ|/√|S|⌉``
+        (:class:`~repro.costs.count_based.AdversaryCost`); the Theorem-18
+        adversary passes a :class:`~repro.costs.count_based.PowerCost` here.
+    """
+    if num_commodities < 1:
+        raise InvalidInstanceError("num_commodities must be positive")
+    generator = ensure_rng(rng)
+    size = subset_size if subset_size is not None else max(int(math.isqrt(num_commodities)), 1)
+    if not 1 <= size <= num_commodities:
+        raise InvalidInstanceError(
+            f"subset size must lie in [1, {num_commodities}], got {size}"
+        )
+    cost = cost_function if cost_function is not None else AdversaryCost(num_commodities)
+    if cost.num_commodities != num_commodities:
+        raise InvalidInstanceError(
+            "cost_function.num_commodities must match num_commodities"
+        )
+    subset = generator.choice(num_commodities, size=size, replace=False)
+    order = generator.permutation(size)
+    requests = RequestSequence.from_tuples(
+        [(0, {int(subset[i])}) for i in order]
+    )
+    instance = Instance(
+        SinglePointMetric(),
+        cost,
+        requests,
+        name=f"thm2-single-point(|S|={num_commodities})",
+    )
+    opt_cost = cost.cost(0, (int(e) for e in subset))
+    return instance, float(opt_cost)
+
+
+@dataclass(frozen=True)
+class GameRound:
+    """One round of the Figure-1 structure (a new uncovered commodity arrives)."""
+
+    round_index: int
+    request_index: int
+    commodity: int
+    commodities_newly_covered: int
+    facility_cost_paid: float
+
+
+@dataclass
+class SinglePointGameResult:
+    """Outcome of one algorithm playing the single-point game."""
+
+    algorithm: str
+    num_commodities: int
+    subset_size: int
+    algorithm_cost: float
+    opt_cost: float
+    num_facilities: int
+    num_rounds: int
+    total_predicted: int
+    rounds: List[GameRound] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        return self.algorithm_cost / self.opt_cost if self.opt_cost > 0 else float("inf")
+
+
+def round_structure(instance: Instance, result: OnlineResult) -> List[GameRound]:
+    """Recover the Figure-1 round structure from an execution trace.
+
+    A *round* starts when a request arrives whose commodity is not yet offered
+    by any facility the algorithm opened earlier; the round's facilities are
+    all facilities opened while processing that request, and the predicted
+    commodities are the commodities those facilities offer beyond ones already
+    covered.
+    """
+    covered: set = set()
+    rounds: List[GameRound] = []
+    openings_by_request: Dict[int, List[FacilityOpenedEvent]] = {}
+    for event in result.trace.facility_openings():
+        openings_by_request.setdefault(event.request_index, []).append(event)
+    for request in instance.requests:
+        commodity = next(iter(request.commodities))
+        openings = openings_by_request.get(request.index, [])
+        if commodity in covered and not openings:
+            continue
+        newly_covered: set = set()
+        cost_paid = 0.0
+        for event in openings:
+            newly_covered |= set(event.configuration) - covered
+            cost_paid += event.opening_cost
+        if commodity not in covered or openings:
+            rounds.append(
+                GameRound(
+                    round_index=len(rounds),
+                    request_index=request.index,
+                    commodity=commodity,
+                    commodities_newly_covered=len(newly_covered),
+                    facility_cost_paid=cost_paid,
+                )
+            )
+        covered |= newly_covered
+    return rounds
+
+
+def run_single_point_game(
+    algorithm: OnlineAlgorithm,
+    num_commodities: int,
+    *,
+    subset_size: Optional[int] = None,
+    cost_function: Optional[FacilityCostFunction] = None,
+    repeats: int = 1,
+    rng: RandomState = None,
+    keep_rounds: bool = False,
+) -> SinglePointGameResult:
+    """Play the Theorem-2 game ``repeats`` times and average the outcome."""
+    if repeats < 1:
+        raise InvalidInstanceError("repeats must be at least 1")
+    generator = ensure_rng(rng)
+    total_cost = 0.0
+    total_opt = 0.0
+    total_facilities = 0
+    total_rounds = 0
+    total_predicted = 0
+    last_rounds: List[GameRound] = []
+    size = subset_size if subset_size is not None else max(int(math.isqrt(num_commodities)), 1)
+    for _ in range(repeats):
+        instance, opt_cost = single_point_instance(
+            num_commodities,
+            subset_size=subset_size,
+            cost_function=cost_function,
+            rng=generator,
+        )
+        result = run_online(algorithm, instance, rng=generator, trace=True)
+        rounds = round_structure(instance, result)
+        total_cost += result.total_cost
+        total_opt += opt_cost
+        total_facilities += result.solution.num_facilities()
+        total_rounds += len(rounds)
+        total_predicted += sum(r.commodities_newly_covered for r in rounds)
+        last_rounds = rounds
+    return SinglePointGameResult(
+        algorithm=algorithm.name,
+        num_commodities=num_commodities,
+        subset_size=size,
+        algorithm_cost=total_cost / repeats,
+        opt_cost=total_opt / repeats,
+        num_facilities=total_facilities // repeats,
+        num_rounds=total_rounds // repeats,
+        total_predicted=total_predicted // repeats,
+        rounds=last_rounds if keep_rounds else [],
+    )
+
+
+def predicted_single_point_ratio(num_commodities: int) -> float:
+    """The Theorem-2 prediction ``Ω(√|S|)`` (reported as ``√|S|`` itself)."""
+    return math.sqrt(num_commodities)

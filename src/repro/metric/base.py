@@ -1,0 +1,180 @@
+"""Abstract finite metric space.
+
+Design notes
+------------
+The OMFLP algorithms evaluate, for every arriving request, quantities of the
+form ``(bid_j - d(m, j))_+`` summed over earlier requests ``j`` and over all
+candidate facility points ``m``.  The hot path therefore needs *rows* of the
+distance matrix (``distances_from``) as contiguous numpy arrays rather than
+scalar ``distance(i, j)`` calls; following the scientific-Python optimization
+guide we vectorize over points and avoid building the full pairwise matrix
+unless it is explicitly requested (``pairwise_matrix`` caches it lazily and
+only for spaces small enough for that to be sensible).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidMetricError
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["MetricSpace"]
+
+
+class MetricSpace(abc.ABC):
+    """A finite metric space over points ``0, ..., num_points - 1``.
+
+    Subclasses must implement :meth:`distances_from`; the scalar
+    :meth:`distance` and all convenience queries are derived from it.
+    """
+
+    #: Absolute tolerance used when validating the metric axioms.
+    _AXIOM_TOLERANCE = 1e-9
+
+    # ------------------------------------------------------------------
+    # Abstract interface
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def num_points(self) -> int:
+        """Number of points in the space."""
+
+    @abc.abstractmethod
+    def distances_from(self, point: int) -> np.ndarray:
+        """Return the distances from ``point`` to every point as a float64 array.
+
+        The returned array has shape ``(num_points,)``; implementations may
+        return an internal buffer, so callers must not mutate it.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+    def distance(self, a: int, b: int) -> float:
+        """Distance between two points."""
+        self._check_point(a)
+        self._check_point(b)
+        return float(self.distances_from(a)[b])
+
+    def distances_between(self, point: int, targets: Sequence[int]) -> np.ndarray:
+        """Distances from ``point`` to each point in ``targets`` (vectorized)."""
+        self._check_point(point)
+        if len(targets) == 0:
+            return np.empty(0, dtype=np.float64)
+        target_array = np.asarray(targets, dtype=np.intp)
+        if target_array.min() < 0 or target_array.max() >= self.num_points:
+            raise InvalidMetricError(
+                f"target points out of range [0, {self.num_points}): {targets!r}"
+            )
+        return self.distances_from(point)[target_array]
+
+    def nearest(self, point: int, candidates: Sequence[int]) -> Tuple[int, float]:
+        """Return ``(candidate, distance)`` of the closest candidate to ``point``.
+
+        Raises :class:`InvalidMetricError` when ``candidates`` is empty.
+        """
+        if len(candidates) == 0:
+            raise InvalidMetricError("nearest() requires a non-empty candidate set")
+        distances = self.distances_between(point, candidates)
+        index = int(np.argmin(distances))
+        return int(candidates[index]), float(distances[index])
+
+    def nearest_distance(self, point: int, candidates: Sequence[int]) -> float:
+        """Distance to the closest candidate, ``inf`` when there are none."""
+        if len(candidates) == 0:
+            return float("inf")
+        return float(np.min(self.distances_between(point, candidates)))
+
+    def pairwise_matrix(self) -> np.ndarray:
+        """Return (and cache) the full ``num_points x num_points`` distance matrix."""
+        cached = getattr(self, "_pairwise_cache", None)
+        if cached is not None:
+            return cached
+        matrix = np.vstack([self.distances_from(i) for i in range(self.num_points)])
+        self._pairwise_cache = matrix
+        return matrix
+
+    def diameter(self) -> float:
+        """Largest pairwise distance."""
+        if self.num_points <= 1:
+            return 0.0
+        return float(self.pairwise_matrix().max())
+
+    def points(self) -> range:
+        """Iterable of all point indices."""
+        return range(self.num_points)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, *, sample_triples: Optional[int] = None, rng: RandomState = None) -> None:
+        """Check the metric axioms; raise :class:`InvalidMetricError` on violation.
+
+        Checks non-negativity, the identity of indiscernibles on the diagonal,
+        symmetry, and the triangle inequality.  For spaces with more than
+        roughly 60 points the triangle inequality is checked on
+        ``sample_triples`` random triples (default: ``20 * num_points``)
+        rather than on all ``O(n^3)`` of them.
+        """
+        n = self.num_points
+        if n <= 0:
+            raise InvalidMetricError("a metric space must contain at least one point")
+        matrix = self.pairwise_matrix()
+        if matrix.shape != (n, n):
+            raise InvalidMetricError(
+                f"pairwise matrix has shape {matrix.shape}, expected {(n, n)}"
+            )
+        if not np.all(np.isfinite(matrix)):
+            raise InvalidMetricError("distances must be finite")
+        if np.any(matrix < -self._AXIOM_TOLERANCE):
+            raise InvalidMetricError("distances must be non-negative")
+        if np.any(np.abs(np.diag(matrix)) > self._AXIOM_TOLERANCE):
+            raise InvalidMetricError("d(x, x) must be zero for every point")
+        if np.any(np.abs(matrix - matrix.T) > self._AXIOM_TOLERANCE):
+            raise InvalidMetricError("the distance matrix must be symmetric")
+        self._validate_triangle_inequality(matrix, sample_triples, rng)
+
+    def _validate_triangle_inequality(
+        self,
+        matrix: np.ndarray,
+        sample_triples: Optional[int],
+        rng: RandomState,
+    ) -> None:
+        n = self.num_points
+        if n <= 60:
+            # d(i, k) <= d(i, j) + d(j, k) for all i, j, k — fully vectorized:
+            # matrix[i, :, None] + matrix[None, :, k] broadcast over j.
+            via = matrix[:, :, None] + matrix[None, :, :]
+            best_via = via.min(axis=1)
+            if np.any(matrix > best_via + self._AXIOM_TOLERANCE):
+                raise InvalidMetricError("triangle inequality violated")
+            return
+        generator = ensure_rng(rng)
+        count = sample_triples if sample_triples is not None else 20 * n
+        i = generator.integers(0, n, size=count)
+        j = generator.integers(0, n, size=count)
+        k = generator.integers(0, n, size=count)
+        lhs = matrix[i, k]
+        rhs = matrix[i, j] + matrix[j, k]
+        if np.any(lhs > rhs + self._AXIOM_TOLERANCE):
+            raise InvalidMetricError("triangle inequality violated (sampled check)")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_point(self, point: int) -> None:
+        if not 0 <= point < self.num_points:
+            raise InvalidMetricError(
+                f"point {point} out of range [0, {self.num_points}) for {type(self).__name__}"
+            )
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_points={self.num_points})"

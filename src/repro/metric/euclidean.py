@@ -1,0 +1,76 @@
+"""Points in Euclidean space R^d."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - scipy is a hard dependency, but keep the import local
+    from scipy.spatial import cKDTree
+except Exception:  # pragma: no cover
+    cKDTree = None
+
+from repro.exceptions import InvalidMetricError
+from repro.metric.base import MetricSpace
+
+__all__ = ["EuclideanMetric"]
+
+
+class EuclideanMetric(MetricSpace):
+    """Finite metric induced by points in ``R^d`` with the Euclidean norm.
+
+    Distances from a point are computed with a vectorized norm over the whole
+    coordinate array; nearest-candidate queries over *all* points can use a
+    KD-tree when scipy is available (``use_kdtree=True``), which matters for
+    the larger experiment sweeps.
+    """
+
+    def __init__(self, coordinates: Sequence[Sequence[float]], *, use_kdtree: bool = True) -> None:
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if coords.ndim == 1:
+            coords = coords[:, None]
+        if coords.ndim != 2 or coords.shape[0] == 0:
+            raise InvalidMetricError(
+                f"coordinates must have shape (n, d) with n >= 1, got {coords.shape}"
+            )
+        if not np.all(np.isfinite(coords)):
+            raise InvalidMetricError("coordinates must be finite")
+        self._coords = np.ascontiguousarray(coords)
+        self._tree = None
+        if use_kdtree and cKDTree is not None and coords.shape[0] >= 32:
+            self._tree = cKDTree(self._coords)
+
+    @property
+    def num_points(self) -> int:
+        return int(self._coords.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension ``d``."""
+        return int(self._coords.shape[1])
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        view = self._coords.view()
+        view.flags.writeable = False
+        return view
+
+    def distances_from(self, point: int) -> np.ndarray:
+        self._check_point(point)
+        delta = self._coords - self._coords[point]
+        return np.sqrt(np.einsum("ij,ij->i", delta, delta))
+
+    def nearest_any(self, point: int) -> Tuple[int, float]:
+        """Closest *other* point in the whole space (KD-tree accelerated)."""
+        self._check_point(point)
+        if self.num_points == 1:
+            return point, 0.0
+        if self._tree is not None:
+            distances, indices = self._tree.query(self._coords[point], k=2)
+            # k=2 because the nearest hit is the point itself at distance 0.
+            return int(indices[1]), float(distances[1])
+        row = self.distances_from(point).copy()
+        row[point] = np.inf
+        index = int(np.argmin(row))
+        return index, float(row[index])

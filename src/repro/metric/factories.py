@@ -1,0 +1,130 @@
+"""Random metric-space generators used by workloads, tests and experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import InvalidMetricError
+from repro.metric.euclidean import EuclideanMetric
+from repro.metric.graph import GraphMetric
+from repro.metric.grid import GridMetric
+from repro.metric.line import LineMetric
+from repro.metric.tree import TreeMetric
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "uniform_line_metric",
+    "random_line_metric",
+    "random_euclidean_metric",
+    "random_grid_metric",
+    "random_graph_metric",
+    "random_tree_metric",
+]
+
+
+def uniform_line_metric(num_points: int, *, length: float = 1.0) -> LineMetric:
+    """Equally spaced points on a segment of the given length."""
+    if num_points <= 0:
+        raise InvalidMetricError("num_points must be positive")
+    if num_points == 1:
+        return LineMetric([0.0])
+    return LineMetric(np.linspace(0.0, length, num_points))
+
+
+def random_line_metric(
+    num_points: int, *, length: float = 1.0, rng: RandomState = None
+) -> LineMetric:
+    """Points drawn uniformly at random from ``[0, length]``."""
+    if num_points <= 0:
+        raise InvalidMetricError("num_points must be positive")
+    generator = ensure_rng(rng)
+    return LineMetric(np.sort(generator.uniform(0.0, length, size=num_points)))
+
+
+def random_euclidean_metric(
+    num_points: int,
+    *,
+    dimension: int = 2,
+    side: float = 1.0,
+    rng: RandomState = None,
+) -> EuclideanMetric:
+    """Points drawn uniformly at random from the cube ``[0, side]^dimension``."""
+    if num_points <= 0 or dimension <= 0:
+        raise InvalidMetricError("num_points and dimension must be positive")
+    generator = ensure_rng(rng)
+    return EuclideanMetric(generator.uniform(0.0, side, size=(num_points, dimension)))
+
+
+def random_grid_metric(
+    num_points: int,
+    *,
+    width: int = 32,
+    height: int = 32,
+    spacing: float = 1.0,
+    rng: RandomState = None,
+) -> GridMetric:
+    """``num_points`` lattice points sampled without replacement from a grid."""
+    if num_points <= 0:
+        raise InvalidMetricError("num_points must be positive")
+    if num_points > width * height:
+        raise InvalidMetricError(
+            f"cannot place {num_points} distinct points on a {width}x{height} grid"
+        )
+    generator = ensure_rng(rng)
+    flat = generator.choice(width * height, size=num_points, replace=False)
+    coords = np.stack([flat // height, flat % height], axis=1)
+    return GridMetric(coords, spacing=spacing)
+
+
+def random_graph_metric(
+    num_points: int,
+    *,
+    edge_probability: float = 0.2,
+    max_edge_length: float = 1.0,
+    rng: RandomState = None,
+) -> GraphMetric:
+    """Connected Erdős–Rényi-style graph with uniform random edge lengths.
+
+    A random spanning tree is always added so the graph is connected even for
+    small ``edge_probability``.
+    """
+    if num_points <= 0:
+        raise InvalidMetricError("num_points must be positive")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise InvalidMetricError("edge_probability must lie in [0, 1]")
+    generator = ensure_rng(rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_points))
+    # Random spanning tree (random parent attachment) for connectivity.
+    for node in range(1, num_points):
+        parent = int(generator.integers(0, node))
+        graph.add_edge(parent, node, weight=float(generator.uniform(0.0, max_edge_length)))
+    # Extra random edges.
+    for u in range(num_points):
+        for v in range(u + 1, num_points):
+            if graph.has_edge(u, v):
+                continue
+            if generator.uniform() < edge_probability:
+                graph.add_edge(u, v, weight=float(generator.uniform(0.0, max_edge_length)))
+    return GraphMetric(graph)
+
+
+def random_tree_metric(
+    num_points: int,
+    *,
+    max_edge_length: float = 1.0,
+    rng: RandomState = None,
+) -> TreeMetric:
+    """Random recursive tree with uniform random edge lengths."""
+    if num_points <= 0:
+        raise InvalidMetricError("num_points must be positive")
+    generator = ensure_rng(rng)
+    tree = nx.Graph()
+    tree.add_node(0)
+    for node in range(1, num_points):
+        parent = int(generator.integers(0, node))
+        tree.add_edge(parent, node, weight=float(generator.uniform(0.0, max_edge_length)))
+    return TreeMetric(tree)

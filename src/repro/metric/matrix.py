@@ -1,0 +1,76 @@
+"""Metric space given by an explicit distance matrix."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidMetricError
+from repro.metric.base import MetricSpace
+
+__all__ = ["ExplicitMetric"]
+
+
+class ExplicitMetric(MetricSpace):
+    """A finite metric space defined by its full pairwise distance matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square array-like of shape ``(n, n)``.  The constructor symmetrizes
+        nothing and validates nothing by default; call :meth:`validate` (or
+        pass ``validate=True``) to check the metric axioms.
+    labels:
+        Optional human-readable point labels (used only for reporting).
+    validate:
+        When true, run the axiom check immediately.
+    """
+
+    def __init__(
+        self,
+        matrix: Sequence[Sequence[float]],
+        *,
+        labels: Optional[Sequence[str]] = None,
+        validate: bool = False,
+    ) -> None:
+        array = np.asarray(matrix, dtype=np.float64)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise InvalidMetricError(
+                f"distance matrix must be square, got shape {array.shape}"
+            )
+        if array.shape[0] == 0:
+            raise InvalidMetricError("a metric space must contain at least one point")
+        self._matrix = np.ascontiguousarray(array)
+        self._pairwise_cache = self._matrix
+        if labels is not None and len(labels) != array.shape[0]:
+            raise InvalidMetricError(
+                f"got {len(labels)} labels for {array.shape[0]} points"
+            )
+        self.labels = list(labels) if labels is not None else None
+        if validate:
+            self.validate()
+
+    @property
+    def num_points(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def distances_from(self, point: int) -> np.ndarray:
+        self._check_point(point)
+        return self._matrix[point]
+
+    def pairwise_matrix(self) -> np.ndarray:
+        return self._matrix
+
+    @classmethod
+    def from_points_and_metric(cls, num_points: int, distance_fn) -> "ExplicitMetric":
+        """Materialize a metric from a callable ``distance_fn(i, j)``."""
+        if num_points <= 0:
+            raise InvalidMetricError("num_points must be positive")
+        matrix = np.zeros((num_points, num_points), dtype=np.float64)
+        for i in range(num_points):
+            for j in range(i + 1, num_points):
+                value = float(distance_fn(i, j))
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return cls(matrix)

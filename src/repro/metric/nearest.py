@@ -1,0 +1,73 @@
+"""Incremental nearest-open-facility queries.
+
+The online algorithms repeatedly ask "what is the distance from this request
+to the closest currently open facility offering commodity ``e``?"
+(``d(F(e), r)`` in the paper) and "... to the closest large facility?"
+(``d(F̂, r)``).  :class:`NearestPointIndex` maintains, per key (a commodity or
+the special large-facility key), the set of points hosting such a facility and
+answers distance queries with a single vectorized lookup into the metric row
+of the request's location.
+
+Facilities are never removed (decisions are irrevocable in the online model),
+so the index only ever grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metric.base import MetricSpace
+
+__all__ = ["NearestPointIndex"]
+
+
+class NearestPointIndex:
+    """Nearest-point queries over dynamically growing per-key point sets."""
+
+    def __init__(self, metric: MetricSpace) -> None:
+        self._metric = metric
+        self._points_by_key: Dict[Hashable, List[int]] = {}
+
+    def add(self, key: Hashable, point: int) -> None:
+        """Register an open facility location ``point`` under ``key``."""
+        self._points_by_key.setdefault(key, []).append(int(point))
+
+    def points(self, key: Hashable) -> List[int]:
+        """All registered points for ``key`` (possibly with duplicates)."""
+        return list(self._points_by_key.get(key, ()))
+
+    def has_any(self, key: Hashable) -> bool:
+        return bool(self._points_by_key.get(key))
+
+    def nearest_distance(self, key: Hashable, from_point: int) -> float:
+        """Distance from ``from_point`` to the closest registered point of ``key``.
+
+        Returns ``inf`` when no point is registered under ``key`` — the same
+        convention the algorithms use for "no such facility exists yet".
+        """
+        points = self._points_by_key.get(key)
+        if not points:
+            return float("inf")
+        return float(np.min(self._metric.distances_between(from_point, points)))
+
+    def nearest(self, key: Hashable, from_point: int) -> Optional[Tuple[int, float]]:
+        """Closest registered point of ``key`` and its distance, or ``None``."""
+        points = self._points_by_key.get(key)
+        if not points:
+            return None
+        distances = self._metric.distances_between(from_point, points)
+        index = int(np.argmin(distances))
+        return points[index], float(distances[index])
+
+    def nearest_distances_many(self, key: Hashable, from_points: Iterable[int]) -> np.ndarray:
+        """Vectorized ``nearest_distance`` for several query points at once."""
+        from_list = list(from_points)
+        points = self._points_by_key.get(key)
+        if not points:
+            return np.full(len(from_list), np.inf, dtype=np.float64)
+        result = np.empty(len(from_list), dtype=np.float64)
+        for i, query in enumerate(from_list):
+            result[i] = np.min(self._metric.distances_between(query, points))
+        return result

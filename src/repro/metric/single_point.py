@@ -1,0 +1,31 @@
+"""The degenerate one-point metric space.
+
+Theorem 2 of the paper proves the Ω(√|S|) lower bound "even on a single
+point"; the adversary of :mod:`repro.lowerbound.single_point` runs on this
+space, where all connection costs vanish and only facility-construction
+decisions matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metric.base import MetricSpace
+
+__all__ = ["SinglePointMetric"]
+
+
+class SinglePointMetric(MetricSpace):
+    """A metric space with exactly one point (all distances are zero)."""
+
+    def __init__(self) -> None:
+        self._row = np.zeros(1, dtype=np.float64)
+        self._pairwise_cache = self._row.reshape(1, 1)
+
+    @property
+    def num_points(self) -> int:
+        return 1
+
+    def distances_from(self, point: int) -> np.ndarray:
+        self._check_point(point)
+        return self._row

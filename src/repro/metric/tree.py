@@ -1,0 +1,61 @@
+"""Shortest-path metric of a weighted tree.
+
+Tree metrics model hierarchical topologies (e.g. the aggregation tiers of a
+data-center network) and connect to the related offline work of Svitkina and
+Tardos on hierarchical facility costs cited in Section 1.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import InvalidMetricError
+from repro.metric.graph import GraphMetric
+
+__all__ = ["TreeMetric"]
+
+
+class TreeMetric(GraphMetric):
+    """Finite metric given by shortest-path distances of a weighted tree.
+
+    The constructor verifies that the graph is a tree; all other behaviour is
+    inherited from :class:`~repro.metric.graph.GraphMetric`.
+    """
+
+    def __init__(self, tree: nx.Graph, *, weight: str = "weight") -> None:
+        if tree.number_of_nodes() == 0:
+            raise InvalidMetricError("the tree must contain at least one node")
+        if not nx.is_tree(tree):
+            raise InvalidMetricError("TreeMetric requires a tree (connected and acyclic)")
+        super().__init__(tree, weight=weight)
+
+    @classmethod
+    def balanced(
+        cls,
+        branching: int,
+        depth: int,
+        *,
+        edge_length: float = 1.0,
+        level_decay: float = 1.0,
+    ) -> "TreeMetric":
+        """Balanced ``branching``-ary tree of the given depth.
+
+        ``level_decay < 1`` produces HST-like metrics where edges shrink
+        geometrically with depth (root edges are longest).
+        """
+        if branching < 1 or depth < 0:
+            raise InvalidMetricError("branching must be >= 1 and depth >= 0")
+        if edge_length <= 0 or level_decay <= 0:
+            raise InvalidMetricError("edge_length and level_decay must be positive")
+        tree = nx.balanced_tree(branching, depth)
+        lengths = {}
+        # Distance of each node from the root determines its level.
+        levels = nx.single_source_shortest_path_length(tree, 0)
+        for u, v in tree.edges():
+            level = min(levels[u], levels[v])
+            lengths[(u, v)] = edge_length * (level_decay**level)
+        nx.set_edge_attributes(tree, lengths, "weight")
+        return cls(tree)

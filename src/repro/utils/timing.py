@@ -1,0 +1,89 @@
+"""Wall-clock timing helpers for the experiment harness.
+
+Following the "no optimization without measuring" rule of the
+scientific-Python optimization guide, every experiment records how long each
+(algorithm, instance) pair took so that runtime regressions are visible in
+the benchmark output next to the competitive ratios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["Stopwatch", "TimingRecord"]
+
+
+@dataclass
+class TimingRecord:
+    """Accumulated wall-clock time for a named phase."""
+
+    name: str
+    total_seconds: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds} for phase {self.name!r}")
+        self.total_seconds += seconds
+        self.calls += 1
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class Stopwatch:
+    """Context-manager based accumulator of per-phase wall-clock time.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("solve"):
+    ...     _ = sum(range(1000))
+    >>> watch.record("solve").calls
+    1
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, TimingRecord] = {}
+
+    def measure(self, name: str) -> "_Measurement":
+        return _Measurement(self, name)
+
+    def record(self, name: str) -> TimingRecord:
+        if name not in self._records:
+            self._records[name] = TimingRecord(name)
+        return self._records[name]
+
+    def records(self) -> Dict[str, TimingRecord]:
+        return dict(self._records)
+
+    def total_seconds(self) -> float:
+        return sum(record.total_seconds for record in self._records.values())
+
+    def summary(self) -> str:
+        lines = []
+        for name in sorted(self._records):
+            record = self._records[name]
+            lines.append(
+                f"{name}: {record.total_seconds:.4f}s over {record.calls} call(s) "
+                f"(mean {record.mean_seconds:.4f}s)"
+            )
+        return "\n".join(lines)
+
+
+class _Measurement:
+    def __init__(self, stopwatch: Stopwatch, name: str) -> None:
+        self._stopwatch = stopwatch
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_Measurement":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None
+        self._stopwatch.record(self._name).add(time.perf_counter() - self._start)

@@ -1,0 +1,68 @@
+"""Argument-validation helpers with consistent, informative error messages."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_finite",
+]
+
+
+def check_finite(value: float, name: str) -> float:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return float(value)
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    check_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return float(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    check_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``; return the value."""
+    check_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return float(value)
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in the given interval."""
+    check_finite(value, name)
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if not low_inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+        if not high_inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return float(value)

@@ -1,0 +1,45 @@
+"""Common container for generated workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.algorithms.offline.planted import PlantedSolver
+from repro.core.instance import Instance
+
+__all__ = ["GeneratedWorkload"]
+
+
+@dataclass
+class GeneratedWorkload:
+    """An instance plus the generator's side information.
+
+    Attributes
+    ----------
+    instance:
+        The generated OMFLP instance.
+    planted_specs:
+        Optional list of ``(point, configuration)`` facilities that the
+        generator considers a good offline solution (clustered workloads plant
+        one facility per cluster).  ``planted_solver()`` wraps them into an
+        offline reference.
+    metadata:
+        Free-form generator parameters recorded for experiment tables.
+    """
+
+    instance: Instance
+    planted_specs: Optional[List[Tuple[int, FrozenSet[int]]]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def planted_solver(self) -> Optional[PlantedSolver]:
+        """Offline reference solver evaluating the planted facilities, if any."""
+        if not self.planted_specs:
+            return None
+        return PlantedSolver(self.planted_specs)
+
+    def describe(self) -> Dict[str, object]:
+        info = dict(self.instance.describe())
+        info.update(self.metadata)
+        info["has_planted_solution"] = bool(self.planted_specs)
+        return info

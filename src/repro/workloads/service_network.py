@@ -1,0 +1,114 @@
+"""The introduction's service-provider scenario as a workload.
+
+Section 1 of the paper motivates the OMFLP with a provider of services in a
+network infrastructure: clients appear over time at network locations and ask
+for subsets of the offered services; instantiating a set of services in one
+virtual machine costs less than instantiating them separately, and talking to
+one nearby node offering several requested services is cheaper than talking
+to many.
+
+This generator realizes that story end to end:
+
+* the metric is the shortest-path metric of a random connected network
+  (:class:`~repro.metric.graph.GraphMetric`);
+* the facility cost is a concave function of the total "size" of the bundled
+  services, scaled per node (some nodes are cheaper to provision than others)
+  — a :class:`~repro.costs.general.WeightedConcaveCost`;
+* clients request service bundles drawn from Zipf-skewed popularity, with a
+  tunable number of distinct bundle "profiles" (think: web stack, analytics
+  stack, ...) so that co-location opportunities exist.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.commodities import CommodityUniverse
+from repro.core.instance import Instance
+from repro.core.requests import Request, RequestSequence
+from repro.costs.general import WeightedConcaveCost
+from repro.exceptions import InvalidInstanceError
+from repro.metric.factories import random_graph_metric
+from repro.utils.rng import RandomState, ensure_rng
+from repro.workloads.base import GeneratedWorkload
+
+__all__ = ["service_network_workload"]
+
+
+def service_network_workload(
+    *,
+    num_requests: int,
+    num_services: int,
+    num_nodes: int = 48,
+    num_profiles: int = 6,
+    profile_size: int = 3,
+    edge_probability: float = 0.1,
+    zipf_alpha: float = 1.1,
+    node_cost_spread: float = 0.5,
+    service_weight_spread: float = 0.0,
+    rng: RandomState = None,
+) -> GeneratedWorkload:
+    """Clients requesting service bundles on a random network.
+
+    Parameters
+    ----------
+    num_profiles, profile_size:
+        Number of distinct bundle profiles and their size; each client
+        requests one profile (plus occasionally an extra popular service).
+    node_cost_spread:
+        Relative spread of per-node provisioning cost multipliers.
+    service_weight_spread:
+        Relative spread of service sizes; ``0`` keeps all services equal,
+        which guarantees Condition 1 (heavier spreads model the "heavy
+        commodity" regime of the closing remarks).
+    """
+    if num_requests < 1 or num_services < 1 or num_nodes < 2:
+        raise InvalidInstanceError("num_requests, num_services must be >= 1 and num_nodes >= 2")
+    if num_profiles < 1 or not 1 <= profile_size <= num_services:
+        raise InvalidInstanceError("num_profiles >= 1 and 1 <= profile_size <= num_services required")
+    generator = ensure_rng(rng)
+
+    metric = random_graph_metric(num_nodes, edge_probability=edge_probability, rng=generator)
+    weights = 1.0 + service_weight_spread * generator.uniform(0.0, 1.0, size=num_services)
+    node_scales = 1.0 + node_cost_spread * generator.uniform(0.0, 1.0, size=num_nodes)
+    cost = WeightedConcaveCost(weights, point_scales=node_scales, name="service-vm-cost")
+
+    universe = CommodityUniverse(
+        num_services, names=[f"service-{i}" for i in range(num_services)]
+    )
+    ranks = np.arange(1, num_services + 1, dtype=np.float64)
+    popularity = 1.0 / np.power(ranks, zipf_alpha)
+    profiles: List[frozenset] = [
+        universe.sample_subset(profile_size, rng=generator, weights=popularity)
+        for _ in range(num_profiles)
+    ]
+
+    requests = []
+    for index in range(num_requests):
+        node = int(generator.integers(0, num_nodes))
+        profile = profiles[int(generator.integers(0, num_profiles))]
+        demand = set(profile)
+        if generator.uniform() < 0.25:
+            demand |= universe.sample_subset(1, rng=generator, weights=popularity)
+        requests.append(Request(index=index, point=node, commodities=frozenset(demand)))
+
+    instance = Instance(
+        metric,
+        cost,
+        RequestSequence(requests),
+        commodities=universe,
+        name=f"service-network(n={num_requests},S={num_services},nodes={num_nodes})",
+    )
+    return GeneratedWorkload(
+        instance=instance,
+        metadata={
+            "workload": "service-network",
+            "num_profiles": num_profiles,
+            "profile_size": profile_size,
+            "zipf_alpha": zipf_alpha,
+            "node_cost_spread": node_cost_spread,
+            "service_weight_spread": service_weight_spread,
+        },
+    )

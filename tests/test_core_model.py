@@ -1,0 +1,310 @@
+"""Unit tests for the core OMFLP model (commodities, requests, facilities, solutions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Assignment,
+    CommodityUniverse,
+    Facility,
+    FacilityStore,
+    Instance,
+    Request,
+    RequestSequence,
+    Solution,
+)
+from repro.costs.count_based import LinearCost, PowerCost
+from repro.exceptions import (
+    InfeasibleSolutionError,
+    InvalidInstanceError,
+)
+from repro.metric.factories import uniform_line_metric
+
+
+class TestCommodityUniverse:
+    def test_basics(self):
+        universe = CommodityUniverse(3)
+        assert len(universe) == 3
+        assert universe.full_set == frozenset({0, 1, 2})
+        assert list(universe) == [0, 1, 2]
+        assert universe.name_of(1) == "s1"
+        assert universe.index_of("s2") == 2
+
+    def test_named(self):
+        universe = CommodityUniverse(2, names=["web", "db"])
+        assert universe.name_of(0) == "web"
+        assert universe.index_of("db") == 1
+        with pytest.raises(InvalidInstanceError):
+            universe.index_of("cache")
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            CommodityUniverse(0)
+        with pytest.raises(InvalidInstanceError):
+            CommodityUniverse(2, names=["a"])
+        with pytest.raises(InvalidInstanceError):
+            CommodityUniverse(2, names=["a", "a"])
+        universe = CommodityUniverse(2)
+        with pytest.raises(InvalidInstanceError):
+            universe.check(5)
+
+    def test_subset_and_sampling(self):
+        universe = CommodityUniverse(10)
+        assert universe.subset([1, 3]) == frozenset({1, 3})
+        sample = universe.sample_subset(4, rng=0)
+        assert len(sample) == 4
+        assert sample <= universe.full_set
+        with pytest.raises(InvalidInstanceError):
+            universe.sample_subset(0)
+        with pytest.raises(InvalidInstanceError):
+            universe.sample_subset(11)
+
+    def test_weighted_sampling_prefers_heavy(self):
+        universe = CommodityUniverse(5)
+        weights = [100.0, 1e-9, 1e-9, 1e-9, 1e-9]
+        hits = sum(0 in universe.sample_subset(1, rng=i, weights=weights) for i in range(20))
+        assert hits >= 18
+
+    def test_weighted_sampling_validation(self):
+        universe = CommodityUniverse(3)
+        with pytest.raises(InvalidInstanceError):
+            universe.sample_subset(1, weights=[1.0, 1.0])
+        with pytest.raises(InvalidInstanceError):
+            universe.sample_subset(1, weights=[0.0, 0.0, 0.0])
+
+
+class TestRequests:
+    def test_request_validation(self):
+        request = Request(index=0, point=2, commodities=frozenset({1}))
+        assert request.num_commodities == 1
+        assert request.demands(1) and not request.demands(0)
+        with pytest.raises(InvalidInstanceError):
+            Request(index=0, point=0, commodities=frozenset())
+        with pytest.raises(InvalidInstanceError):
+            Request(index=-1, point=0, commodities=frozenset({0}))
+        with pytest.raises(InvalidInstanceError):
+            Request(index=0, point=-1, commodities=frozenset({0}))
+
+    def test_sequence_indices_must_match_positions(self):
+        good = RequestSequence(
+            [Request(0, 0, frozenset({0})), Request(1, 1, frozenset({1}))]
+        )
+        assert len(good) == 2
+        with pytest.raises(InvalidInstanceError):
+            RequestSequence([Request(5, 0, frozenset({0}))])
+
+    def test_from_tuples_and_views(self):
+        sequence = RequestSequence.from_tuples([(0, {0, 2}), (3, {1})])
+        assert sequence.points() == [0, 3]
+        assert sequence.commodities_used() == frozenset({0, 1, 2})
+        assert sequence.total_demand() == 3
+        assert [r.index for r in sequence.requests_demanding(0)] == [0]
+        assert sequence[1].point == 3
+
+    def test_prefix_and_reorder(self):
+        sequence = RequestSequence.from_tuples([(0, {0}), (1, {1}), (2, {0, 1})])
+        prefix = sequence.prefix(2)
+        assert len(prefix) == 2
+        with pytest.raises(InvalidInstanceError):
+            sequence.prefix(7)
+        reordered = sequence.reordered([2, 0, 1])
+        assert reordered[0].point == 2
+        assert reordered[0].index == 0
+        with pytest.raises(InvalidInstanceError):
+            sequence.reordered([0, 0, 1])
+
+    def test_split_per_commodity(self):
+        sequence = RequestSequence.from_tuples([(0, {0, 2}), (1, {1})])
+        split = sequence.split_per_commodity()
+        assert len(split) == 3
+        assert all(r.num_commodities == 1 for r in split)
+        assert split.total_demand() == sequence.total_demand()
+
+
+class TestFacilityStore:
+    def test_open_and_indexes(self, line_metric, sqrt_cost):
+        store = FacilityStore(line_metric, sqrt_cost)
+        small = store.open(1, {2})
+        large = store.open(4, sqrt_cost.full_set)
+        assert len(store) == 2
+        assert small.opening_cost == pytest.approx(1.0)
+        assert large.opening_cost == pytest.approx(2.0)
+        assert store.total_opening_cost == pytest.approx(3.0)
+        assert [f.id for f in store.facilities_offering(2)] == [0, 1]
+        assert [f.id for f in store.facilities_offering(0)] == [1]
+        assert [f.id for f in store.large_facilities()] == [1]
+        assert store.has_facility_for(2) and not store.has_facility_for(99) is True or True
+
+    def test_distance_queries(self, line_metric, sqrt_cost):
+        store = FacilityStore(line_metric, sqrt_cost)
+        assert store.distance_to_nearest(0, 2) == float("inf")
+        assert store.distance_to_nearest_large(2) == float("inf")
+        assert store.nearest_offering(0, 2) is None
+        assert store.nearest_large(2) is None
+        store.open(0, {0})
+        store.open(4, sqrt_cost.full_set)
+        assert store.distance_to_nearest(0, 1) == pytest.approx(0.25)
+        facility, distance = store.nearest_offering(0, 3)
+        assert facility.id == 1 and distance == pytest.approx(0.25)
+        assert store.distance_to_nearest_large(0) == pytest.approx(1.0)
+        covering = store.nearest_covering(frozenset({0, 1}), 0)
+        assert covering[0].id == 1
+
+    def test_validation(self, line_metric, sqrt_cost):
+        store = FacilityStore(line_metric, sqrt_cost)
+        with pytest.raises(InvalidInstanceError):
+            store.open(1, ())
+        with pytest.raises(InvalidInstanceError):
+            store.open(99, {0})
+
+    def test_facility_dataclass_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            Facility(id=-1, point=0, configuration=frozenset({0}), opening_cost=1.0)
+        with pytest.raises(InvalidInstanceError):
+            Facility(id=0, point=0, configuration=frozenset(), opening_cost=1.0)
+        with pytest.raises(InvalidInstanceError):
+            Facility(id=0, point=0, configuration=frozenset({0}), opening_cost=-1.0)
+        facility = Facility(id=0, point=0, configuration=frozenset({0, 1}), opening_cost=1.0)
+        assert facility.offers(1) and facility.offers_all({0, 1}) and not facility.offers(2)
+
+
+class TestAssignmentAndSolution:
+    def _facilities(self, line_metric, sqrt_cost):
+        store = FacilityStore(line_metric, sqrt_cost)
+        f0 = store.open(0, {0})
+        f1 = store.open(4, {1})
+        f2 = store.open(2, sqrt_cost.full_set)
+        return {f.id: f for f in store.facilities}, store
+
+    def test_assignment_costs_count_distinct_facilities_once(self, line_metric, sqrt_cost):
+        facilities, _ = self._facilities(line_metric, sqrt_cost)
+        request = Request(0, 1, frozenset({0, 1}))
+        assignment = Assignment(request_index=0)
+        assignment.assign(0, 2)
+        assignment.assign(1, 2)
+        assert assignment.uses_single_facility()
+        assert assignment.connection_cost(request, facilities, line_metric) == pytest.approx(0.25)
+        # Two distinct facilities are both paid.
+        other = Assignment(request_index=0)
+        other.assign(0, 0)
+        other.assign(1, 1)
+        assert other.connection_cost(request, facilities, line_metric) == pytest.approx(0.25 + 0.75)
+
+    def test_assignment_validation(self, line_metric, sqrt_cost):
+        facilities, _ = self._facilities(line_metric, sqrt_cost)
+        request = Request(0, 1, frozenset({0, 1}))
+        missing = Assignment(request_index=0)
+        missing.assign(0, 0)
+        with pytest.raises(InfeasibleSolutionError):
+            missing.validate(request, facilities)
+        wrong_offer = Assignment(request_index=0)
+        wrong_offer.assign(0, 1)  # facility 1 offers only commodity 1
+        wrong_offer.assign(1, 1)
+        with pytest.raises(InfeasibleSolutionError):
+            wrong_offer.validate(request, facilities)
+        extra = Assignment(request_index=0)
+        extra.assign(0, 0)
+        extra.assign(1, 1)
+        extra.assign(3, 2)
+        with pytest.raises(InfeasibleSolutionError):
+            extra.validate(request, facilities)
+        unknown_facility = Assignment(request_index=0)
+        unknown_facility.assign(0, 99)
+        unknown_facility.assign(1, 1)
+        with pytest.raises(InfeasibleSolutionError):
+            unknown_facility.validate(request, facilities)
+        mismatched = Assignment(request_index=5)
+        with pytest.raises(InfeasibleSolutionError):
+            mismatched.validate(request, facilities)
+
+    def test_solution_costs_and_breakdown(self, line_metric, sqrt_cost):
+        facilities, store = self._facilities(line_metric, sqrt_cost)
+        requests = RequestSequence.from_tuples([(1, {0, 1}), (3, {2})])
+        a0 = Assignment(0, {0: 2, 1: 2})
+        a1 = Assignment(1, {2: 2})
+        solution = Solution(line_metric, 4, store.facilities, [a0, a1])
+        solution.validate(requests)
+        breakdown = solution.cost_breakdown(requests)
+        assert breakdown.opening_small == pytest.approx(2.0)
+        assert breakdown.opening_large == pytest.approx(2.0)
+        assert breakdown.connection == pytest.approx(0.25 + 0.25)
+        assert breakdown.total == pytest.approx(solution.total_cost(requests))
+        assert solution.num_facilities() == 3
+        assert solution.num_large_facilities() == 1
+        assert "facilities" in solution.summary(requests)
+
+    def test_solution_missing_assignment(self, line_metric, sqrt_cost):
+        _, store = self._facilities(line_metric, sqrt_cost)
+        requests = RequestSequence.from_tuples([(1, {0})])
+        solution = Solution(line_metric, 4, store.facilities, [])
+        with pytest.raises(InfeasibleSolutionError):
+            solution.validate(requests)
+        with pytest.raises(InfeasibleSolutionError):
+            solution.connection_cost(requests)
+
+
+class TestInstance:
+    def test_describe_and_properties(self, small_instance):
+        info = small_instance.describe()
+        assert info["num_requests"] == 5
+        assert info["num_commodities"] == 4
+        assert info["num_points"] == 5
+        assert small_instance.num_requests == 5
+
+    def test_validation(self, line_metric):
+        cost = PowerCost(2, 1.0)
+        bad_point = RequestSequence.from_tuples([(99, {0})])
+        with pytest.raises(InvalidInstanceError):
+            Instance(line_metric, cost, bad_point)
+        bad_commodity = RequestSequence.from_tuples([(0, {7})])
+        with pytest.raises(InvalidInstanceError):
+            Instance(line_metric, cost, bad_commodity)
+
+    def test_commodity_universe_size_mismatch(self, line_metric):
+        cost = PowerCost(2, 1.0)
+        requests = RequestSequence.from_tuples([(0, {0})])
+        with pytest.raises(InvalidInstanceError):
+            Instance(line_metric, cost, requests, commodities=CommodityUniverse(3))
+
+    def test_prefix_reorder_split(self, small_instance):
+        prefix = small_instance.prefix(2)
+        assert prefix.num_requests == 2
+        reordered = small_instance.reordered([4, 3, 2, 1, 0])
+        assert reordered.num_requests == 5
+        assert reordered.requests[0].point == small_instance.requests[4].point
+        split = small_instance.split_per_commodity()
+        assert split.num_requests == small_instance.requests.total_demand()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_points=st.integers(min_value=1, max_value=6),
+    num_commodities=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_facility_store_nearest_matches_bruteforce(num_points, num_commodities, seed):
+    """Property: store distance queries agree with explicit minima."""
+    rng = np.random.default_rng(seed)
+    metric = uniform_line_metric(num_points)
+    cost = LinearCost(num_commodities)
+    store = FacilityStore(metric, cost)
+    opened = []
+    for _ in range(int(rng.integers(1, 5))):
+        point = int(rng.integers(0, num_points))
+        size = int(rng.integers(1, num_commodities + 1))
+        config = frozenset(int(c) for c in rng.choice(num_commodities, size=size, replace=False))
+        store.open(point, config)
+        opened.append((point, config))
+    query = int(rng.integers(0, num_points))
+    for commodity in range(num_commodities):
+        expected = min(
+            (metric.distance(query, p) for p, config in opened if commodity in config),
+            default=float("inf"),
+        )
+        assert store.distance_to_nearest(commodity, query) == pytest.approx(expected)
+    expected_large = min(
+        (metric.distance(query, p) for p, config in opened if config == cost.full_set),
+        default=float("inf"),
+    )
+    assert store.distance_to_nearest_large(query) == pytest.approx(expected_large)

@@ -1,0 +1,125 @@
+"""Tests for dual variables, feasibility checking and weak-duality bounds."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import run_online
+from repro.algorithms.offline.brute_force import BruteForceSolver
+from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+from repro.dual import (
+    DualVariableStore,
+    check_dual_feasibility,
+    max_feasible_scale,
+    paper_scaling_factor,
+    weak_duality_lower_bound,
+)
+from repro.exceptions import AlgorithmError
+from repro.utils.maths import harmonic_number
+
+
+class TestDualVariableStore:
+    def test_set_get_total(self):
+        store = DualVariableStore(3)
+        store.set(0, 1, 2.5)
+        store.set(1, 0, 1.0)
+        assert store.get(0, 1) == 2.5
+        assert store.get(5, 2) == 0.0
+        assert store.total() == pytest.approx(3.5)
+        assert store.request_total(0, [0, 1, 2]) == pytest.approx(2.5)
+        assert len(store) == 2
+
+    def test_write_once_semantics(self):
+        store = DualVariableStore(2)
+        store.set(0, 0, 1.0)
+        store.set(0, 0, 1.0)  # same value is fine
+        with pytest.raises(AlgorithmError):
+            store.set(0, 0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            DualVariableStore(0)
+        store = DualVariableStore(2)
+        with pytest.raises(AlgorithmError):
+            store.set(0, 0, -1.0)
+        with pytest.raises(AlgorithmError):
+            store.set(0, 5, 1.0)
+
+    def test_dense_matrix(self):
+        store = DualVariableStore(3)
+        store.set(0, 2, 1.5)
+        store.set(2, 0, 0.5)
+        matrix = store.as_dense_matrix(3)
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 2] == 1.5
+        assert matrix[2, 0] == 0.5
+        assert matrix.sum() == pytest.approx(2.0)
+        # Rows beyond the requested count are dropped.
+        assert store.as_dense_matrix(1).sum() == pytest.approx(1.5)
+
+
+class TestPaperScalingFactor:
+    def test_formula(self):
+        gamma = paper_scaling_factor(4, 10)
+        assert gamma == pytest.approx(1.0 / (5.0 * 2.0 * harmonic_number(10)))
+
+    def test_degenerate_inputs(self):
+        assert paper_scaling_factor(4, 0) == 1.0
+        with pytest.raises(ValueError):
+            paper_scaling_factor(0, 5)
+
+
+class TestFeasibilityChecks:
+    def test_zero_duals_always_feasible(self, tiny_instance):
+        duals = DualVariableStore(tiny_instance.num_commodities)
+        report = check_dual_feasibility(tiny_instance, duals, scale=100.0)
+        assert report.feasible
+        assert report.worst_ratio == 0.0
+        assert report.exhaustive
+        assert max_feasible_scale(tiny_instance, duals) == float("inf")
+
+    def test_huge_duals_are_infeasible(self, tiny_instance):
+        duals = DualVariableStore(tiny_instance.num_commodities)
+        for request in tiny_instance.requests:
+            for commodity in request.commodities:
+                duals.set(request.index, commodity, 100.0)
+        report = check_dual_feasibility(tiny_instance, duals, scale=1.0)
+        assert not report.feasible
+        assert report.violations
+        assert report.worst_ratio > 1.0
+
+    def test_pd_duals_feasible_at_paper_gamma(self, tiny_instance):
+        result = run_online(PDOMFLPAlgorithm(), tiny_instance)
+        duals = result.duals
+        gamma = paper_scaling_factor(
+            tiny_instance.num_commodities, tiny_instance.num_requests
+        )
+        report = check_dual_feasibility(tiny_instance, duals, scale=gamma)
+        assert report.feasible
+
+    def test_max_feasible_scale_is_a_boundary(self, tiny_instance):
+        result = run_online(PDOMFLPAlgorithm(), tiny_instance)
+        duals = result.duals
+        scale = max_feasible_scale(tiny_instance, duals)
+        assert np.isfinite(scale) and scale > 0
+        assert check_dual_feasibility(tiny_instance, duals, scale=scale * 0.999).feasible
+        assert not check_dual_feasibility(tiny_instance, duals, scale=scale * 1.01).feasible
+
+
+class TestWeakDuality:
+    def test_bound_below_opt(self, tiny_instance):
+        result = run_online(PDOMFLPAlgorithm(), tiny_instance)
+        opt = BruteForceSolver().solve(tiny_instance).total_cost
+        bound = weak_duality_lower_bound(tiny_instance, result.duals)
+        assert 0 < bound <= opt + 1e-9
+
+    def test_paper_gamma_bound_below_opt(self, tiny_instance):
+        result = run_online(PDOMFLPAlgorithm(), tiny_instance)
+        opt = BruteForceSolver().solve(tiny_instance).total_cost
+        bound = weak_duality_lower_bound(
+            tiny_instance, result.duals, use_empirical_scale=False
+        )
+        assert 0 <= bound <= opt + 1e-9
+
+    def test_zero_duals_bound_zero(self, tiny_instance):
+        duals = DualVariableStore(tiny_instance.num_commodities)
+        assert weak_duality_lower_bound(tiny_instance, duals) == 0.0

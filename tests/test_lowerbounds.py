@@ -1,0 +1,154 @@
+"""Tests for the adversarial lower-bound constructions of Section 2 / Section 3.3."""
+
+import math
+
+import pytest
+
+from repro.algorithms.online.no_prediction import NoPredictionGreedy
+from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+from repro.algorithms.base import run_online
+from repro.costs.count_based import PowerCost
+from repro.exceptions import InvalidInstanceError
+from repro.lowerbound import (
+    adaptive_lower_bound_instance,
+    predicted_adaptive_ratio,
+    predicted_single_point_ratio,
+    run_adaptive_line_game,
+    run_combined_lower_bound_game,
+    run_single_point_game,
+    single_point_instance,
+)
+from repro.lowerbound.fotakis_line import line_game_parameters
+from repro.lowerbound.single_point import round_structure
+
+
+class TestSinglePointInstance:
+    def test_structure(self):
+        instance, opt = single_point_instance(16, rng=0)
+        assert instance.num_points == 1
+        assert instance.num_requests == 4  # sqrt(16)
+        assert opt == pytest.approx(1.0)
+        assert all(r.num_commodities == 1 for r in instance.requests)
+        commodities = {next(iter(r.commodities)) for r in instance.requests}
+        assert len(commodities) == 4  # all distinct
+
+    def test_subset_size_override(self):
+        instance, opt = single_point_instance(16, subset_size=7, rng=1)
+        assert instance.num_requests == 7
+        assert opt == pytest.approx(2.0)  # ceil(7/4)
+
+    def test_custom_cost_function(self):
+        cost = PowerCost(16, 1.0)
+        instance, opt = single_point_instance(16, cost_function=cost, rng=2)
+        assert opt == pytest.approx(2.0)  # 4^(1/2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            single_point_instance(0)
+        with pytest.raises(InvalidInstanceError):
+            single_point_instance(16, subset_size=0)
+        with pytest.raises(InvalidInstanceError):
+            single_point_instance(16, cost_function=PowerCost(9, 1.0))
+
+    def test_deterministic_by_seed(self):
+        a, _ = single_point_instance(25, rng=5)
+        b, _ = single_point_instance(25, rng=5)
+        assert [r.commodities for r in a.requests] == [r.commodities for r in b.requests]
+
+
+class TestSinglePointGame:
+    def test_pd_ratio_matches_sqrt_s(self):
+        game = run_single_point_game(PDOMFLPAlgorithm(), 36, repeats=2, rng=0)
+        assert game.ratio == pytest.approx(6.0)
+        assert game.opt_cost == pytest.approx(1.0)
+        assert game.subset_size == 6
+
+    def test_no_prediction_ratio_at_least_sqrt_s(self):
+        game = run_single_point_game(NoPredictionGreedy(), 49, repeats=2, rng=1)
+        assert game.ratio >= 7.0 - 1e-9
+
+    def test_rand_ratio_at_least_constant_fraction_of_sqrt_s(self):
+        game = run_single_point_game(RandOMFLPAlgorithm(), 36, repeats=5, rng=2)
+        assert game.ratio >= 1.0
+        assert game.algorithm_cost >= 1.0
+
+    def test_round_structure_reconstruction(self):
+        instance, _ = single_point_instance(16, rng=3)
+        result = run_online(PDOMFLPAlgorithm(), instance, trace=True)
+        rounds = round_structure(instance, result)
+        assert len(rounds) <= instance.num_requests
+        assert sum(r.commodities_newly_covered for r in rounds) >= instance.num_requests
+        assert all(r.facility_cost_paid >= 0 for r in rounds)
+
+    def test_repeats_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            run_single_point_game(PDOMFLPAlgorithm(), 16, repeats=0)
+
+    def test_predicted_ratio(self):
+        assert predicted_single_point_ratio(64) == pytest.approx(8.0)
+
+
+class TestAdaptiveLineGame:
+    def test_parameters_cover_request_budget(self):
+        phases, growth = line_game_parameters(200)
+        assert growth >= 2
+        assert sum(growth**i for i in range(phases)) <= 200
+
+    def test_parameters_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            line_game_parameters(1)
+
+    def test_game_runs_and_ratio_at_least_one(self):
+        game = run_adaptive_line_game(PDOMFLPAlgorithm(), 60, facility_cost=0.5, rng=0)
+        assert game.num_requests <= 60
+        assert game.opt_estimate > 0
+        assert game.ratio >= 1.0 - 1e-9
+        assert game.predicted_ratio > 0
+        assert game.num_phases >= 2
+
+    def test_phases_grow_with_n(self):
+        small = run_adaptive_line_game(PDOMFLPAlgorithm(), 30, facility_cost=0.5, rng=1)
+        large = run_adaptive_line_game(PDOMFLPAlgorithm(), 600, facility_cost=0.5, rng=1)
+        assert large.num_phases >= small.num_phases
+        assert large.num_requests > small.num_requests
+        # The OPT estimate is an upper bound on OPT, so the measured ratio is a
+        # conservative under-estimate; it must still be bounded away from zero.
+        assert large.ratio > 0.5
+
+    def test_invalid_cost(self):
+        with pytest.raises(InvalidInstanceError):
+            run_adaptive_line_game(PDOMFLPAlgorithm(), 20, facility_cost=0.0)
+
+
+class TestCombinedGame:
+    def test_combines_both_games(self):
+        result = run_combined_lower_bound_game(
+            PDOMFLPAlgorithm, num_commodities=16, num_requests=40, rng=0
+        )
+        assert result.single_point.ratio >= 1.0
+        assert result.line_game.ratio >= 1.0
+        assert result.measured_ratio == max(result.single_point.ratio, result.line_game.ratio)
+        expected = math.sqrt(16) + result.predicted_ratio - math.sqrt(16)
+        assert result.predicted_ratio >= math.sqrt(16)
+
+
+class TestAdaptiveLowerBound:
+    @pytest.mark.parametrize("x", [0.0, 0.5, 1.0, 1.5, 2.0])
+    def test_instance_and_prediction(self, x):
+        instance, opt = adaptive_lower_bound_instance(16, x, rng=0)
+        assert instance.num_requests == 4
+        assert opt == pytest.approx(4 ** (x / 2.0))
+        predicted = predicted_adaptive_ratio(16, x)
+        root = math.sqrt(16)
+        assert predicted == pytest.approx(min(root ** ((2 - x) / 2), root ** (x / 2)))
+
+    def test_prediction_peaks_at_one(self):
+        values = [predicted_adaptive_ratio(256, x) for x in [0.0, 0.5, 1.0, 1.5, 2.0]]
+        assert max(values) == pytest.approx(predicted_adaptive_ratio(256, 1.0))
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(InvalidInstanceError):
+            predicted_adaptive_ratio(16, 2.5)

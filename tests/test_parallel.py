@@ -1,0 +1,69 @@
+"""Tests for the scatter/gather process-pool helpers."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.parallel import ParallelConfig, parallel_map, scatter_gather
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _raise_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        config = ParallelConfig()
+        assert config.resolved_workers() == 1
+
+    def test_none_uses_cpu_count(self):
+        config = ParallelConfig(workers=None)
+        assert config.resolved_workers() >= 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ExperimentError):
+            ParallelConfig(workers=0).resolved_workers()
+
+
+class TestParallelMap:
+    def test_serial_matches_builtin_map(self):
+        items = list(range(20))
+        assert parallel_map(_square, items) == [x * x for x in items]
+
+    def test_order_preserved_in_parallel(self):
+        items = list(range(40))
+        result = parallel_map(_square, items, config=ParallelConfig(workers=2))
+        assert result == [x * x for x in items]
+
+    def test_parallel_equals_serial(self):
+        items = list(range(25))
+        serial = parallel_map(_square, items, config=ParallelConfig(workers=1))
+        parallel = parallel_map(_square, items, config=ParallelConfig(workers=2, chunk_size=4))
+        assert serial == parallel
+
+    def test_small_inputs_stay_serial(self):
+        # Below min_items_for_parallel a lambda (unpicklable) must still work,
+        # proving the serial fallback is used.
+        result = parallel_map(lambda x: x + 1, [1, 2, 3], config=ParallelConfig(workers=4))
+        assert result == [2, 3, 4]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ExperimentError):
+            parallel_map(_square, list(range(30)), config=ParallelConfig(workers=2, chunk_size=0))
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            parallel_map(_raise_on_three, list(range(5)), config=ParallelConfig(workers=1))
+
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []
+
+    def test_scatter_gather_wrapper(self):
+        assert scatter_gather(_square, [1, 2, 3], workers=1) == [1, 4, 9]

@@ -1,0 +1,53 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_rngs, ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_from_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=5)
+        b = ensure_rng(42).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(123, 5) == spawn_seeds(123, 5)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(0, 20)
+        assert len(set(seeds)) == 20
+
+    def test_count_zero(self):
+        assert spawn_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_from_generator(self):
+        seeds = spawn_seeds(np.random.default_rng(3), 4)
+        assert len(seeds) == 4
+
+    def test_child_rngs_independent_streams(self):
+        rngs = child_rngs(9, 3)
+        values = [r.uniform() for r in rngs]
+        assert len(set(values)) == 3
