@@ -14,6 +14,21 @@ and theorem-backed result of the paper (see ``EXPERIMENTS.md``).
 
 Quickstart
 ----------
+The declarative facade (:mod:`repro.api`) runs a whole scenario from plain
+data — see also :class:`OnlineSession` for streaming request arrival:
+
+>>> from repro import RunSpec, run
+>>> record = run(RunSpec.from_dict({
+...     "algorithm": "pd-omflp",
+...     "metric": {"kind": "uniform-line", "num_points": 8},
+...     "cost": {"kind": "power", "num_commodities": 4, "exponent_x": 1.0},
+...     "requests": [[1, [0, 1]], [6, [2]], [2, [0, 3]]],
+... }))
+>>> record.total_cost > 0
+True
+
+The class-based layer stays available for programmatic construction:
+
 >>> from repro import (
 ...     Instance, RequestSequence, PowerCost, uniform_line_metric,
 ...     PDOMFLPAlgorithm, run_online,
@@ -36,12 +51,31 @@ from repro.algorithms import (
     LocalSearchSolver,
     MeyersonOFLAlgorithm,
     NoPredictionGreedy,
+    OfflineResult,
+    OfflineSolver,
+    OnlineAlgorithm,
     OnlineResult,
     PDOMFLPAlgorithm,
     PerCommodityAlgorithm,
     RandOMFLPAlgorithm,
     ThresholdPDAlgorithm,
     run_online,
+)
+from repro.api import (
+    ALGORITHMS,
+    COSTS,
+    METRICS,
+    SOLVERS,
+    WORKLOADS,
+    AssignmentEvent,
+    OnlineSession,
+    Registry,
+    RunRecord,
+    RunSpec,
+    records_to_csv,
+    run,
+    run_grid,
+    run_many,
 )
 from repro.core import (
     Assignment,
@@ -79,6 +113,7 @@ from repro.exceptions import (
     InvalidInstanceError,
     InvalidMetricError,
     ReproError,
+    UnknownComponentError,
 )
 from repro.metric import (
     EuclideanMetric,
@@ -96,10 +131,25 @@ from repro.metric import (
     uniform_line_metric,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # api facade
+    "Registry",
+    "METRICS",
+    "COSTS",
+    "WORKLOADS",
+    "ALGORITHMS",
+    "SOLVERS",
+    "RunSpec",
+    "RunRecord",
+    "records_to_csv",
+    "run",
+    "run_many",
+    "run_grid",
+    "OnlineSession",
+    "AssignmentEvent",
     # core
     "Instance",
     "Request",
@@ -152,7 +202,10 @@ __all__ = [
     "BruteForceSolver",
     "GreedyOfflineSolver",
     "LocalSearchSolver",
+    "OnlineAlgorithm",
     "OnlineResult",
+    "OfflineSolver",
+    "OfflineResult",
     "run_online",
     # exceptions
     "ReproError",
@@ -162,4 +215,5 @@ __all__ = [
     "InfeasibleSolutionError",
     "AlgorithmError",
     "ExperimentError",
+    "UnknownComponentError",
 ]

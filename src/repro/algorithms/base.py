@@ -10,8 +10,7 @@ returns an :class:`OnlineResult` with the final solution and cost breakdown.
 from __future__ import annotations
 
 import abc
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.instance import Instance
@@ -20,8 +19,7 @@ from repro.core.solution import CostBreakdown, Solution
 from repro.core.state import OnlineState
 from repro.core.trace import Trace
 from repro.dual.variables import DualVariableStore
-from repro.exceptions import AlgorithmError
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState
 
 __all__ = ["OnlineAlgorithm", "OnlineResult", "OfflineSolver", "OfflineResult", "run_online"]
 
@@ -102,36 +100,34 @@ def run_online(
     trace: bool = False,
     validate: bool = True,
 ) -> OnlineResult:
-    """Run an online algorithm over the request sequence of ``instance``."""
-    generator = ensure_rng(rng)
-    state = OnlineState(instance, trace=Trace(enabled=trace))
-    start = time.perf_counter()
-    algorithm.prepare(instance, state, generator)
-    for request in instance.requests:
-        algorithm.process(request, state, generator)
-        try:
-            state.assignment_of(request.index)
-        except KeyError as error:
-            raise AlgorithmError(
-                f"{algorithm.name} finished processing request {request.index} "
-                "without recording an assignment"
-            ) from error
-    runtime = time.perf_counter() - start
-    solution = state.to_solution()
-    if validate:
-        solution.validate(instance.requests)
-    breakdown = solution.cost_breakdown(instance.requests)
-    return OnlineResult(
-        algorithm=algorithm.name,
-        instance_name=instance.name,
-        solution=solution,
-        opening_cost=breakdown.opening,
-        connection_cost=breakdown.connection,
-        breakdown=breakdown,
-        runtime_seconds=runtime,
-        trace=state.trace,
-        duals=algorithm.duals(),
+    """Run an online algorithm over the request sequence of ``instance``.
+
+    This is the batch shim over the streaming
+    :class:`repro.api.session.OnlineSession`: the materialized sequence is fed
+    through a session one request at a time, so batch and streaming execution
+    share one code path and produce bit-identical costs for the same seed.
+    """
+    # Imported lazily: repro.api.session depends on this module for the
+    # OnlineAlgorithm / OnlineResult types.
+    from repro.api.session import OnlineSession
+
+    session = OnlineSession(
+        algorithm,
+        instance.metric,
+        instance.cost_function,
+        commodities=instance.commodities,
+        rng=rng,
+        trace=trace,
+        validate=validate,
+        name=instance.name,
+        # Algorithms that inspect instance.requests (known-horizon baselines)
+        # must see the caller's full instance, exactly as before the shim.
+        instance=instance,
     )
+    for request in instance.requests:
+        session.submit(request.point, request.commodities)
+    record = session.finalize()
+    return record.source
 
 
 class OfflineSolver(abc.ABC):

@@ -5,10 +5,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_markdown_table, format_table
 from repro.exceptions import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports analysis)
+    from repro.api.record import RunRecord
 
 __all__ = ["ExperimentResult"]
 
@@ -41,6 +44,27 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     parameters: Dict[str, Any] = field(default_factory=dict)
     extra_text: Optional[str] = None
+
+    @classmethod
+    def from_records(
+        cls,
+        experiment_id: str,
+        title: str,
+        records: "Sequence[RunRecord]",
+        **kwargs: Any,
+    ) -> "ExperimentResult":
+        """Tabulate unified :class:`~repro.api.record.RunRecord` results.
+
+        One row per record (its :meth:`~repro.api.record.RunRecord.to_row`
+        form), so ad-hoc ``repro.api.run_many`` batches drop straight into the
+        experiment table/JSON machinery.
+        """
+        return cls(
+            experiment_id=experiment_id,
+            title=title,
+            rows=[record.to_row() for record in records],
+            **kwargs,
+        )
 
     def to_table(self, *, columns: Optional[Sequence[str]] = None) -> str:
         table = format_table(self.rows, columns=columns, title=f"[{self.experiment_id}] {self.title}")

@@ -28,8 +28,13 @@ class ParameterGrid:
     def __post_init__(self) -> None:
         if not self.values:
             raise ExperimentError("a parameter grid needs at least one parameter")
-        for name, options in self.values.items():
-            if len(list(options)) == 0:
+        # Coerce every option sequence to a tuple once: generator-valued
+        # parameters would otherwise be exhausted by validation and silently
+        # yield zero combinations when iterated.
+        frozen = {name: tuple(options) for name, options in self.values.items()}
+        object.__setattr__(self, "values", frozen)
+        for name, options in frozen.items():
+            if len(options) == 0:
                 raise ExperimentError(f"parameter {name!r} has no values")
 
     def __iter__(self):
@@ -40,7 +45,7 @@ class ParameterGrid:
     def __len__(self) -> int:
         length = 1
         for options in self.values.values():
-            length *= len(list(options))
+            length *= len(options)
         return length
 
 
@@ -60,22 +65,19 @@ def run_sweep(
     module-level function).
     """
     points = list(grid)
-
-    def _wrapped(parameters: Dict[str, Any]) -> Dict[str, Any]:
-        row = dict(parameters)
-        row.update(worker(parameters))
-        return row
-
     if workers is not None and workers > 1:
         # A closure cannot cross process boundaries; run the worker remotely
         # and merge the parameters locally instead.
         results = parallel_map(
             worker, points, config=ParallelConfig(workers=workers, chunk_size=chunk_size)
         )
-        rows = []
-        for parameters, result in zip(points, results):
-            row = dict(parameters)
-            row.update(result)
-            rows.append(row)
-        return rows
-    return [_wrapped(parameters) for parameters in points]
+    else:
+        results = [worker(parameters) for parameters in points]
+    return [_merge_row(parameters, result) for parameters, result in zip(points, results)]
+
+
+def _merge_row(parameters: Dict[str, Any], result: Dict[str, Any]) -> Dict[str, Any]:
+    """One self-describing table row: the grid point plus the worker's outputs."""
+    row = dict(parameters)
+    row.update(result)
+    return row

@@ -1,0 +1,204 @@
+"""The unified result record of the ``repro.api`` layer.
+
+:class:`RunRecord` subsumes :class:`~repro.algorithms.base.OnlineResult` and
+:class:`~repro.algorithms.base.OfflineResult` behind one shape, so that online
+runs, streaming sessions and offline solves all produce rows that drop into
+the same tables, CSV files and sweeps.  The heavyweight run artifacts
+(solution, trace, dual variables) stay reachable through the ``source``
+attribute but are excluded from the serialized forms.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.algorithms.base import OfflineResult, OnlineResult
+
+__all__ = ["RunRecord", "records_to_csv"]
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one run — online, streaming or offline.
+
+    Attributes
+    ----------
+    kind:
+        ``"online"`` for algorithm runs (batch or streaming),
+        ``"offline"`` for reference solves.
+    algorithm:
+        The algorithm / solver name.
+    instance_name:
+        Name of the instance the run executed on.
+    total_cost, opening_cost, connection_cost:
+        The cost split; ``total_cost == opening_cost + connection_cost``.
+    num_requests, num_facilities, num_large_facilities:
+        Size of the input and the built solution.
+    runtime_seconds:
+        Wall-clock processing time.
+    seed:
+        The seed the run was started with, when known (``None`` for
+        externally supplied generators).
+    is_optimal, lower_bound:
+        Offline-only optimality information.
+    spec:
+        The declarative spec dict that produced the run, when the run came
+        from :func:`repro.api.run.run` (round-trips through JSON).
+    source:
+        The underlying :class:`OnlineResult` / :class:`OfflineResult` with
+        solution, trace and duals; not serialized.
+    """
+
+    kind: str
+    algorithm: str
+    instance_name: str
+    total_cost: float
+    opening_cost: float
+    connection_cost: float
+    num_requests: int
+    num_facilities: int
+    num_large_facilities: int
+    runtime_seconds: float
+    seed: Optional[int] = None
+    is_optimal: bool = False
+    lower_bound: Optional[float] = None
+    spec: Optional[Dict[str, Any]] = None
+    source: Optional[Union[OnlineResult, OfflineResult]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_online_result(
+        cls,
+        result: OnlineResult,
+        *,
+        num_requests: Optional[int] = None,
+        seed: Optional[int] = None,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> "RunRecord":
+        solution = result.solution
+        return cls(
+            kind="online",
+            algorithm=result.algorithm,
+            instance_name=result.instance_name,
+            total_cost=result.total_cost,
+            opening_cost=result.opening_cost,
+            connection_cost=result.connection_cost,
+            num_requests=(
+                num_requests if num_requests is not None else len(solution.assignments)
+            ),
+            num_facilities=solution.num_facilities(),
+            num_large_facilities=solution.num_large_facilities(),
+            runtime_seconds=result.runtime_seconds,
+            seed=seed,
+            spec=spec,
+            source=result,
+        )
+
+    @classmethod
+    def from_offline_result(
+        cls,
+        result: OfflineResult,
+        *,
+        num_requests: Optional[int] = None,
+        seed: Optional[int] = None,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> "RunRecord":
+        solution = result.solution
+        return cls(
+            kind="offline",
+            algorithm=result.solver,
+            instance_name=result.instance_name,
+            total_cost=result.total_cost,
+            opening_cost=result.opening_cost,
+            connection_cost=result.connection_cost,
+            num_requests=(
+                num_requests if num_requests is not None else len(solution.assignments)
+            ),
+            num_facilities=solution.num_facilities(),
+            num_large_facilities=solution.num_large_facilities(),
+            runtime_seconds=result.runtime_seconds,
+            seed=seed,
+            is_optimal=result.is_optimal,
+            lower_bound=result.lower_bound,
+            spec=spec,
+            source=result,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialized forms
+    # ------------------------------------------------------------------
+    #: Column order of :meth:`to_row` / :func:`records_to_csv`.
+    ROW_FIELDS = (
+        "kind",
+        "algorithm",
+        "instance",
+        "total_cost",
+        "opening_cost",
+        "connection_cost",
+        "num_requests",
+        "num_facilities",
+        "num_large_facilities",
+        "runtime_seconds",
+        "seed",
+        "is_optimal",
+        "lower_bound",
+    )
+
+    def to_row(self) -> Dict[str, Any]:
+        """A flat dictionary suitable for tables, sweeps and CSV rows."""
+        return {
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "instance": self.instance_name,
+            "total_cost": self.total_cost,
+            "opening_cost": self.opening_cost,
+            "connection_cost": self.connection_cost,
+            "num_requests": self.num_requests,
+            "num_facilities": self.num_facilities,
+            "num_large_facilities": self.num_large_facilities,
+            "runtime_seconds": self.runtime_seconds,
+            "seed": self.seed,
+            "is_optimal": self.is_optimal,
+            "lower_bound": self.lower_bound,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary (row fields plus the originating spec)."""
+        data = self.to_row()
+        if self.spec is not None:
+            data["spec"] = self.spec
+        return data
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    # Convenience views onto the underlying result object -------------------
+    @property
+    def solution(self):
+        """The built solution, when the underlying result is retained."""
+        return self.source.solution if self.source is not None else None
+
+    @property
+    def trace(self):
+        """The event trace of an online run, when retained."""
+        return getattr(self.source, "trace", None)
+
+
+def records_to_csv(records: Sequence[RunRecord], path: Union[str, Path]) -> Path:
+    """Write one CSV row per record to ``path`` (parents created as needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(RunRecord.ROW_FIELDS))
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record.to_row())
+    return path

@@ -1,0 +1,122 @@
+"""Generic string-keyed component registries.
+
+Every pluggable component family of the library (metrics, cost functions,
+workload generators, online algorithms, offline solvers, experiments) is
+indexed by a :class:`Registry`: a mapping from short stable names to builder
+callables.  Registries make scenarios describable as plain data — a JSON file
+naming ``"pd-omflp"`` or ``"power"`` is enough to assemble a run without
+importing a single ``repro`` class — which is what the declarative
+:class:`~repro.api.spec.RunSpec` layer is built on.
+
+Builders are registered either with the decorator form::
+
+    METRICS = Registry("metric")
+
+    @METRICS.register("uniform-line")
+    def _build(num_points, length=1.0):
+        ...
+
+or directly with :meth:`Registry.add` when the builder already exists (the
+stock components in :mod:`repro.api.components` use this form).  ``build``
+instantiates by name::
+
+    metric = METRICS.build("uniform-line", num_points=8)
+
+Unknown names raise :class:`~repro.exceptions.UnknownComponentError` with the
+full list of registered names.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.exceptions import ReproError, UnknownComponentError
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    """A named mapping from string keys to component builder callables."""
+
+    def __init__(self, kind: str) -> None:
+        #: What the registry holds (``"metric"``, ``"algorithm"``, ...);
+        #: used in error messages.
+        self.kind = kind
+        self._builders: Dict[str, Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator form: register the decorated callable under ``name``."""
+
+        def decorator(builder: Callable[..., Any]) -> Callable[..., Any]:
+            self.add(name, builder)
+            return builder
+
+        return decorator
+
+    def add(self, name: str, builder: Callable[..., Any]) -> None:
+        """Register ``builder`` under ``name`` (names are unique per registry).
+
+        Registration misuse raises plain :class:`ReproError`;
+        :class:`UnknownComponentError` is reserved for failed lookups.
+        """
+        if not name or not isinstance(name, str):
+            raise ReproError(f"{self.kind} registry keys must be non-empty strings")
+        if name in self._builders:
+            raise ReproError(
+                f"{self.kind} {name!r} is already registered; names must be unique"
+            )
+        self._builders[name] = builder
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Callable[..., Any]:
+        """The builder registered under ``name``."""
+        try:
+            return self._builders[name]
+        except KeyError:
+            raise UnknownComponentError(
+                f"unknown {self.kind} {name!r}; registered: {', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def build(self, name: str, **params: Any) -> Any:
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(**params)
+
+    def accepts(self, name: str, parameter: str) -> bool:
+        """Whether the builder of ``name`` takes a ``parameter`` keyword.
+
+        Used to thread the run's random generator into builders that want one
+        (``rng=``) without forcing every builder to declare it.
+        """
+        builder = self.get(name)
+        try:
+            signature = inspect.signature(builder)
+        except (TypeError, ValueError):  # builtins without introspectable signatures
+            return False
+        if parameter in signature.parameters:
+            return True
+        return any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in signature.parameters.values()
+        )
+
+    def names(self) -> List[str]:
+        """All registered names, in registration order."""
+        return list(self._builders)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._builders
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._builders)
+
+    def __len__(self) -> int:
+        return len(self._builders)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry(kind={self.kind!r}, size={len(self._builders)})"

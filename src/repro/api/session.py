@@ -1,0 +1,277 @@
+"""Streaming online sessions — the paper's true online model.
+
+:class:`OnlineSession` runs an online algorithm over a request stream of
+*unknown length*: requests are submitted one at a time with
+:meth:`OnlineSession.submit`, each returning an :class:`AssignmentEvent` with
+the irrevocable decision and its incremental cost, and
+:meth:`OnlineSession.finalize` freezes the run into a
+:class:`~repro.api.record.RunRecord`.  Nothing about the future of the stream
+is needed up front — only the metric space and the cost function, which the
+problem definition fixes in advance (Section 1.1).
+
+The batch entry point :func:`repro.algorithms.base.run_online` is a thin
+wrapper that feeds a materialized request sequence through a session, so batch
+and streaming execution are the same code path and produce bit-identical
+costs for the same seed.
+
+Example
+-------
+>>> from repro.api import OnlineSession
+>>> from repro import PDOMFLPAlgorithm, PowerCost, uniform_line_metric
+>>> session = OnlineSession(
+...     PDOMFLPAlgorithm(), uniform_line_metric(8), PowerCost(4, 1.0)
+... )
+>>> event = session.submit(1, {0, 1})        # a request arrives
+>>> event.connection_cost >= 0.0
+True
+>>> record = session.finalize()
+>>> record.total_cost == event.total_cost_so_far
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import OnlineAlgorithm, OnlineResult
+from repro.api.record import RunRecord
+from repro.core.commodities import CommodityUniverse
+from repro.core.instance import Instance
+from repro.core.requests import Request, RequestSequence
+from repro.core.state import OnlineState
+from repro.core.trace import Trace
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import AlgorithmError
+from repro.metric.base import MetricSpace
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["AssignmentEvent", "OnlineSession"]
+
+
+@dataclass(frozen=True)
+class AssignmentEvent:
+    """The irrevocable outcome of serving one streamed request.
+
+    Attributes
+    ----------
+    request_index:
+        Arrival position of the request (0-based).
+    point, commodities:
+        The request itself.
+    facility_ids:
+        The facilities the request's commodities were connected to.
+    opening_cost_delta:
+        Opening cost charged while serving this request (0 when only existing
+        facilities were reused).
+    connection_cost:
+        Connection cost of this request's assignment.
+    opening_cost_so_far, connection_cost_so_far:
+        Session cost totals after this request.
+    """
+
+    request_index: int
+    point: int
+    commodities: FrozenSet[int]
+    facility_ids: Tuple[int, ...]
+    opening_cost_delta: float
+    connection_cost: float
+    opening_cost_so_far: float
+    connection_cost_so_far: float
+
+    @property
+    def cost_delta(self) -> float:
+        """Total cost charged for this request."""
+        return self.opening_cost_delta + self.connection_cost
+
+    @property
+    def total_cost_so_far(self) -> float:
+        """Session total cost after this request."""
+        return self.opening_cost_so_far + self.connection_cost_so_far
+
+
+class OnlineSession:
+    """An online algorithm run fed one request at a time.
+
+    Parameters
+    ----------
+    algorithm:
+        The online algorithm; ``prepare`` is called immediately (it may only
+        rely on the metric and cost function, which is all the paper's online
+        model reveals in advance).
+    metric, cost:
+        The fixed problem environment.
+    commodities:
+        Optional commodity universe with names (defaults to the cost
+        function's ``|S|`` anonymous commodities).
+    rng:
+        Seed or generator for randomized algorithms; an ``int`` seed is
+        recorded on the final :class:`RunRecord`.
+    trace:
+        Record structured trace events.
+    validate:
+        Validate feasibility of the final solution in :meth:`finalize`.
+    name:
+        Instance name used in result rows.
+    instance:
+        Advanced: pass a fully-materialized instance for the algorithm's
+        ``prepare`` hook to see instead of the session's own requestless one.
+        Streaming sessions leave this unset (the future is unknown); the batch
+        shim :func:`~repro.algorithms.base.run_online` sets it so algorithms
+        that inspect ``instance.requests`` keep their pre-session semantics.
+    """
+
+    def __init__(
+        self,
+        algorithm: OnlineAlgorithm,
+        metric: MetricSpace,
+        cost: FacilityCostFunction,
+        *,
+        commodities: Optional[CommodityUniverse] = None,
+        rng: RandomState = None,
+        trace: bool = False,
+        validate: bool = True,
+        name: str = "session",
+        instance: Optional[Instance] = None,
+    ) -> None:
+        self._algorithm = algorithm
+        self._seed = int(rng) if isinstance(rng, (int, np.integer)) else None
+        self._rng = ensure_rng(rng)
+        self._validate = validate
+        if instance is None:
+            instance = Instance(
+                metric, cost, RequestSequence([]), commodities=commodities, name=name
+            )
+        self._instance = instance
+        self._state = OnlineState(self._instance, trace=Trace(enabled=trace))
+        self._requests: list[Request] = []
+        self._runtime = 0.0
+        self._record: Optional[RunRecord] = None
+        start = time.perf_counter()
+        algorithm.prepare(self._instance, self._state, self._rng)
+        self._runtime += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Read-only views
+    # ------------------------------------------------------------------
+    @property
+    def algorithm(self) -> OnlineAlgorithm:
+        return self._algorithm
+
+    @property
+    def state(self) -> OnlineState:
+        return self._state
+
+    @property
+    def num_requests(self) -> int:
+        """Requests served so far."""
+        return len(self._requests)
+
+    @property
+    def opening_cost(self) -> float:
+        return self._state.current_opening_cost()
+
+    @property
+    def connection_cost(self) -> float:
+        return self._state.current_connection_cost()
+
+    @property
+    def total_cost(self) -> float:
+        """Running total cost (incrementally maintained, O(1))."""
+        return self._state.current_total_cost()
+
+    @property
+    def finalized(self) -> bool:
+        return self._record is not None
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def submit(self, point: int, commodities: Iterable[int]) -> AssignmentEvent:
+        """Serve the next arriving request ``(point, commodities)``.
+
+        The algorithm's decision is applied immediately and irrevocably; the
+        returned event reports which facilities were used and what the request
+        cost on top of the session's running totals.
+        """
+        if self._record is not None:
+            raise AlgorithmError("cannot submit to a finalized session")
+        request = Request(
+            index=len(self._requests),
+            point=int(point),
+            commodities=frozenset(int(e) for e in commodities),
+        )
+        self._instance.validate_request(request)
+
+        opening_before = self._state.current_opening_cost()
+        connection_before = self._state.current_connection_cost()
+        start = time.perf_counter()
+        self._algorithm.process(request, self._state, self._rng)
+        self._runtime += time.perf_counter() - start
+        try:
+            assignment = self._state.assignment_of(request.index)
+        except KeyError as error:
+            raise AlgorithmError(
+                f"{self._algorithm.name} finished processing request {request.index} "
+                "without recording an assignment"
+            ) from error
+        self._requests.append(request)
+
+        opening_after = self._state.current_opening_cost()
+        connection_after = self._state.current_connection_cost()
+        return AssignmentEvent(
+            request_index=request.index,
+            point=request.point,
+            commodities=request.commodities,
+            facility_ids=tuple(sorted(assignment.facility_ids())),
+            opening_cost_delta=opening_after - opening_before,
+            connection_cost=connection_after - connection_before,
+            opening_cost_so_far=opening_after,
+            connection_cost_so_far=connection_after,
+        )
+
+    def submit_many(self, items: Iterable[Tuple[int, Iterable[int]]]) -> list[AssignmentEvent]:
+        """Serve a burst of ``(point, commodities)`` arrivals in order."""
+        return [self.submit(point, commodities) for point, commodities in items]
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> RunRecord:
+        """Freeze the session into a :class:`RunRecord` (idempotent).
+
+        The final costs are recomputed from the frozen solution exactly as the
+        batch runner does, so a streamed run and a batch run over the same
+        sequence and seed report bit-identical totals.
+        """
+        if self._record is not None:
+            return self._record
+        requests = RequestSequence(self._requests)
+        solution = self._state.to_solution()
+        if self._validate:
+            solution.validate(requests)
+        breakdown = solution.cost_breakdown(requests)
+        result = OnlineResult(
+            algorithm=self._algorithm.name,
+            instance_name=self._instance.name,
+            solution=solution,
+            opening_cost=breakdown.opening,
+            connection_cost=breakdown.connection,
+            breakdown=breakdown,
+            runtime_seconds=self._runtime,
+            trace=self._state.trace,
+            duals=self._algorithm.duals(),
+        )
+        self._record = RunRecord.from_online_result(
+            result, num_requests=len(requests), seed=self._seed
+        )
+        return self._record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OnlineSession(algorithm={self._algorithm.name!r}, "
+            f"n={len(self._requests)}, total_cost={self.total_cost:.4f})"
+        )

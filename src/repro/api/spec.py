@@ -1,0 +1,280 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` describes one run — online algorithm or offline solve —
+as plain data: every component is named by its registry key plus keyword
+parameters, so a complete scenario fits in a JSON file::
+
+    {
+        "algorithm": "pd-omflp",
+        "metric": {"kind": "uniform-line", "num_points": 8},
+        "cost": {"kind": "power", "num_commodities": 4, "exponent_x": 1.0},
+        "requests": [[1, [0, 1]], [6, [2]], [2, [0, 3]]],
+        "seed": 0
+    }
+
+and runs end to end through :func:`repro.api.run.run` without importing a
+single ``repro`` class.  Alternatively a ``workload`` spec generates the whole
+instance::
+
+    {"algorithm": "rand-omflp",
+     "workload": {"kind": "uniform", "num_requests": 50, "num_commodities": 8},
+     "seed": 7}
+
+For interactive use, live objects (an already-built metric, cost function or
+algorithm) are accepted in place of declarative specs; such a ``RunSpec``
+still runs but no longer serializes (``to_dict`` raises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.algorithms.base import OfflineSolver, OnlineAlgorithm
+from repro.api.components import ALGORITHMS, COSTS, METRICS, SOLVERS, WORKLOADS
+from repro.api.registry import Registry
+from repro.core.instance import Instance
+from repro.core.requests import RequestSequence
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import ExperimentError, UnknownComponentError
+from repro.metric.base import MetricSpace
+from repro.utils.rng import ensure_rng
+from repro.workloads.base import GeneratedWorkload
+
+__all__ = ["RunSpec", "ComponentSpec"]
+
+#: A component reference: a registry key, a ``{"kind": key, **params}``
+#: mapping, or a live object.
+ComponentSpec = Union[str, Mapping[str, Any], object]
+
+
+def _normalize(spec: ComponentSpec, label: str) -> ComponentSpec:
+    """Canonicalize a declarative component spec to a ``{"kind": ...}`` dict."""
+    if isinstance(spec, str):
+        return {"kind": spec}
+    if isinstance(spec, Mapping):
+        if "kind" not in spec:
+            raise ExperimentError(f"{label} spec mappings need a 'kind' key, got {dict(spec)!r}")
+        return {str(key): value for key, value in spec.items()}
+    return spec  # a live object, used as-is
+
+
+def _is_declarative(spec: Optional[ComponentSpec]) -> bool:
+    return spec is None or isinstance(spec, dict)
+
+
+def _build_component(spec: ComponentSpec, registry: Registry, rng) -> Any:
+    """Instantiate a component from its normalized spec (or pass objects through)."""
+    if not isinstance(spec, dict):
+        return spec
+    params = {key: value for key, value in spec.items() if key != "kind"}
+    kind = spec["kind"]
+    if rng is not None and "rng" not in params and registry.accepts(kind, "rng"):
+        params["rng"] = rng
+    return registry.build(kind, **params)
+
+
+@dataclass
+class RunSpec:
+    """A declarative description of one run.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry key (with optional params) of an online algorithm
+        (:data:`~repro.api.components.ALGORITHMS`) or an offline solver
+        (:data:`~repro.api.components.SOLVERS`); which registry matches
+        decides whether the run is online or offline.
+    metric, cost, requests:
+        Explicit instance ingredients; ``requests`` is a list of
+        ``(point, commodities)`` pairs in arrival order.
+    workload:
+        Alternatively, a workload generator spec that produces the whole
+        instance (mutually exclusive with ``metric``/``cost``/``requests``).
+    seed:
+        Seed for workload generation and randomized algorithms.
+    trace:
+        Record structured trace events during online runs.
+    validate:
+        Validate final-solution feasibility.
+    name:
+        Instance name override used in result rows.
+    """
+
+    algorithm: ComponentSpec
+    metric: Optional[ComponentSpec] = None
+    cost: Optional[ComponentSpec] = None
+    requests: Optional[Sequence[Tuple[int, Sequence[int]]]] = None
+    workload: Optional[ComponentSpec] = None
+    seed: Optional[int] = None
+    trace: bool = False
+    validate: bool = True
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.algorithm = _normalize(self.algorithm, "algorithm")
+        if self.metric is not None:
+            self.metric = _normalize(self.metric, "metric")
+        if self.cost is not None:
+            self.cost = _normalize(self.cost, "cost")
+        if self.workload is not None:
+            self.workload = _normalize(self.workload, "workload")
+        if self.requests is not None:
+            self.requests = [
+                (int(point), tuple(sorted(int(e) for e in commodities)))
+                for point, commodities in self.requests
+            ]
+        if self.workload is not None:
+            if self.metric is not None or self.cost is not None or self.requests is not None:
+                raise ExperimentError(
+                    "a RunSpec takes either a workload or explicit "
+                    "metric/cost/requests, not both"
+                )
+        else:
+            missing = [
+                label
+                for label, value in (
+                    ("metric", self.metric),
+                    ("cost", self.cost),
+                    ("requests", self.requests),
+                )
+                if value is None
+            ]
+            if missing:
+                raise ExperimentError(
+                    "a RunSpec without a workload needs explicit metric, cost and "
+                    f"requests; missing: {', '.join(missing)}"
+                )
+        if self.seed is not None:
+            self.seed = int(self.seed)
+
+    # ------------------------------------------------------------------
+    # Dict round-tripping
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Build a spec from its dictionary form (inverse of :meth:`to_dict`)."""
+        known = {
+            "algorithm",
+            "metric",
+            "cost",
+            "requests",
+            "workload",
+            "seed",
+            "trace",
+            "validate",
+            "name",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown RunSpec keys {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "algorithm" not in data:
+            raise ExperimentError("a RunSpec dictionary needs an 'algorithm' key")
+        return cls(**{key: data[key] for key in known if key in data})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary form (inverse of :meth:`from_dict`).
+
+        Raises :class:`~repro.exceptions.ExperimentError` when the spec holds
+        live objects instead of declarative component specs.
+        """
+        for label, value in (
+            ("algorithm", self.algorithm),
+            ("metric", self.metric),
+            ("cost", self.cost),
+            ("workload", self.workload),
+        ):
+            if not _is_declarative(value):
+                raise ExperimentError(
+                    f"RunSpec.{label} holds a live {type(value).__name__} object; "
+                    "only declarative specs serialize to dictionaries"
+                )
+        data: Dict[str, Any] = {"algorithm": dict(self.algorithm)}
+        if self.workload is not None:
+            data["workload"] = dict(self.workload)
+        else:
+            data["metric"] = dict(self.metric)
+            data["cost"] = dict(self.cost)
+            data["requests"] = [
+                [point, list(commodities)] for point, commodities in self.requests
+            ]
+        if self.seed is not None:
+            data["seed"] = self.seed
+        if self.trace:
+            data["trace"] = True
+        if not self.validate:
+            data["validate"] = False
+        if self.name is not None:
+            data["name"] = self.name
+        return data
+
+    def is_declarative(self) -> bool:
+        """Whether every component is named declaratively (spec serializes)."""
+        return all(
+            _is_declarative(value)
+            for value in (self.algorithm, self.metric, self.cost, self.workload)
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def mode(self) -> str:
+        """``"online"`` or ``"offline"``, from where the algorithm key resolves."""
+        if isinstance(self.algorithm, dict):
+            kind = self.algorithm["kind"]
+            if kind in ALGORITHMS:
+                return "online"
+            if kind in SOLVERS:
+                return "offline"
+            raise UnknownComponentError(
+                f"unknown algorithm {kind!r}; online algorithms: "
+                f"{', '.join(ALGORITHMS.names())}; offline solvers: "
+                f"{', '.join(SOLVERS.names())}"
+            )
+        if isinstance(self.algorithm, OnlineAlgorithm):
+            return "online"
+        if isinstance(self.algorithm, OfflineSolver):
+            return "offline"
+        raise ExperimentError(
+            f"RunSpec.algorithm must be a registry spec, an OnlineAlgorithm or an "
+            f"OfflineSolver; got {type(self.algorithm).__name__}"
+        )
+
+    def build_algorithm(self) -> Union[OnlineAlgorithm, OfflineSolver]:
+        """Instantiate the named online algorithm or offline solver."""
+        if not isinstance(self.algorithm, dict):
+            self.mode()  # type-check live objects
+            return self.algorithm
+        registry = ALGORITHMS if self.mode() == "online" else SOLVERS
+        return _build_component(self.algorithm, registry, None)
+
+    def build_instance(self, rng=None) -> Instance:
+        """Materialize the instance (generating the workload when named).
+
+        ``rng`` (defaulting to a generator seeded with ``seed``) is threaded
+        into workload generation and random metric factories.
+        """
+        generator = ensure_rng(self.seed if rng is None else rng)
+        if self.workload is not None:
+            workload = _build_component(self.workload, WORKLOADS, generator)
+            if not isinstance(workload, GeneratedWorkload):
+                raise ExperimentError(
+                    f"workload builders must return a GeneratedWorkload, got "
+                    f"{type(workload).__name__}"
+                )
+            instance = workload.instance
+        else:
+            metric = _build_component(self.metric, METRICS, generator)
+            if not isinstance(metric, MetricSpace):
+                raise ExperimentError(f"metric spec built a {type(metric).__name__}")
+            cost = _build_component(self.cost, COSTS, generator)
+            if not isinstance(cost, FacilityCostFunction):
+                raise ExperimentError(f"cost spec built a {type(cost).__name__}")
+            instance = Instance(
+                metric, cost, RequestSequence.from_tuples(self.requests), name="spec"
+            )
+        if self.name is not None:
+            instance.name = self.name
+        return instance

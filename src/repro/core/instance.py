@@ -61,14 +61,21 @@ class Instance:
         self._validate()
 
     def _validate(self) -> None:
-        num_points = self._metric.num_points
         for request in self._requests:
-            if not 0 <= request.point < num_points:
-                raise InvalidInstanceError(
-                    f"request {request.index} is located at unknown point {request.point}"
-                )
-            for commodity in request.commodities:
-                self._commodities.check(commodity)
+            self.validate_request(request)
+
+    def validate_request(self, request: Request) -> None:
+        """Check one request against this instance's metric and commodities.
+
+        Used both for the constructor's whole-sequence validation and for
+        requests arriving incrementally through a streaming session.
+        """
+        if not 0 <= request.point < self._metric.num_points:
+            raise InvalidInstanceError(
+                f"request {request.index} is located at unknown point {request.point}"
+            )
+        for commodity in request.commodities:
+            self._commodities.check(commodity)
 
     # ------------------------------------------------------------------
     @property

@@ -36,6 +36,13 @@ class OnlineState:
         self._trace = trace if trace is not None else Trace(enabled=False)
         self._full_set = instance.cost_function.full_set
         self._processed_requests: List[Request] = []
+        # Connection cost accumulated assignment by assignment.  Assignments
+        # are irrevocable, so each request's connection cost is fixed the
+        # moment it is recorded; summing incrementally (in arrival order, the
+        # same order Solution.connection_cost uses) makes streaming sessions
+        # O(1) per request instead of O(n) end-of-run recomputation while
+        # staying bit-identical to the batch total.
+        self._connection_cost = 0.0
 
     # ------------------------------------------------------------------
     # Read-only views
@@ -106,6 +113,7 @@ class OnlineState:
         self._assignments[request.index] = assignment
         self._processed_requests.append(request)
         connection = assignment.connection_cost(request, facilities, self._instance.metric)
+        self._connection_cost += connection
         self._trace.record(
             RequestAssignedEvent(
                 request_index=request.index,
@@ -135,13 +143,8 @@ class OnlineState:
         return self._store.total_opening_cost
 
     def current_connection_cost(self) -> float:
-        facilities = {f.id: f for f in self._store.facilities}
-        total = 0.0
-        for request in self._processed_requests:
-            total += self._assignments[request.index].connection_cost(
-                request, facilities, self._instance.metric
-            )
-        return total
+        """Connection cost of all assignments so far (incrementally maintained)."""
+        return self._connection_cost
 
     def current_total_cost(self) -> float:
         return self.current_opening_cost() + self.current_connection_cost()

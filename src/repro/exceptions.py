@@ -15,6 +15,7 @@ __all__ = [
     "InvalidInstanceError",
     "AlgorithmError",
     "ExperimentError",
+    "UnknownComponentError",
 ]
 
 
@@ -44,3 +45,11 @@ class AlgorithmError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured inconsistently or produced invalid output."""
+
+
+class UnknownComponentError(ReproError):
+    """A string key did not resolve against a component registry.
+
+    Raised by :mod:`repro.api.registry` lookups; the message always lists the
+    registered names so that a typo in a config file is immediately fixable.
+    """

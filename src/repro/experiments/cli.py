@@ -1,27 +1,36 @@
-"""Command-line interface: ``omflp-experiments``.
+"""Command-line interface: ``repro`` (alias ``omflp-experiments``).
 
 Examples
 --------
 List the registered experiments::
 
-    omflp-experiments list
+    repro list
 
 Run one experiment with the quick profile and print its table::
 
-    omflp-experiments run thm2-single-point --profile quick --seed 0
+    repro run thm2-single-point --profile quick --seed 0
 
 Run every experiment and write JSON results to a directory::
 
-    omflp-experiments run-all --profile full --output results/
+    repro run-all --profile full --output results/
+
+Run a declarative :class:`~repro.api.spec.RunSpec` from a JSON file (or
+several — each produces one row) without writing any Python::
+
+    repro spec scenario.json --seed 3 --csv rows.csv
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.api.record import records_to_csv
+from repro.api.run import run_many
+from repro.api.spec import RunSpec
 from repro.experiments.registry import list_experiments, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -29,10 +38,11 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="omflp-experiments",
+        prog="repro",
         description=(
             "Reproduce the figures and theorem-backed results of 'The Online "
-            "Multi-Commodity Facility Location Problem' (SPAA 2020)."
+            "Multi-Commodity Facility Location Problem' (SPAA 2020), and run "
+            "declarative scenarios through the repro.api layer."
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -45,6 +55,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
     _add_run_options(all_parser)
+
+    spec_parser = subparsers.add_parser(
+        "spec", help="run declarative RunSpec JSON files (one result row each)"
+    )
+    spec_parser.add_argument(
+        "paths", nargs="+", type=Path, help="JSON files, each holding one RunSpec dict"
+    )
+    spec_parser.add_argument(
+        "--seed", type=int, default=None, help="override the seed of every spec"
+    )
+    spec_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the spec batch"
+    )
+    spec_parser.add_argument(
+        "--csv", type=Path, default=None, help="also write the result rows to a CSV file"
+    )
 
     return parser
 
@@ -82,6 +108,21 @@ def _run_and_report(experiment_id: str, args: argparse.Namespace) -> None:
         print(f"wrote {path}")
 
 
+def _run_specs(args: argparse.Namespace) -> None:
+    specs: List[RunSpec] = []
+    for path in args.paths:
+        data = json.loads(Path(path).read_text())
+        if args.seed is not None:
+            data["seed"] = args.seed
+        specs.append(RunSpec.from_dict(data))
+    records = run_many(specs, workers=args.workers)
+    for record in records:
+        print(record.to_json())
+    if args.csv is not None:
+        path = records_to_csv(records, args.csv)
+        print(f"wrote {path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -95,6 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-all":
         for experiment_id in list_experiments():
             _run_and_report(experiment_id, args)
+        return 0
+    if args.command == "spec":
+        _run_specs(args)
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

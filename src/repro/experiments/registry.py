@@ -1,11 +1,18 @@
-"""Registry mapping experiment ids to their ``run`` callables."""
+"""Registry mapping experiment ids to their ``run`` callables.
+
+Experiments register on a string-keyed :class:`~repro.api.registry.Registry`
+(the same mechanism that indexes metrics, costs, workloads, algorithms and
+solvers in :mod:`repro.api.components`), so external code can add experiments
+with ``EXPERIMENTS.add("my-id", my_run)`` and the CLI picks them up.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from repro.analysis.runner import ExperimentResult
-from repro.exceptions import ExperimentError
+from repro.api.registry import Registry
+from repro.exceptions import ExperimentError, UnknownComponentError
 from repro.experiments import (
     arrival_order,
     baseline_separation,
@@ -25,36 +32,37 @@ from repro.utils.rng import RandomState
 
 __all__ = ["list_experiments", "get_experiment", "run_experiment", "EXPERIMENTS"]
 
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    fig2_bound_curves.EXPERIMENT_ID: fig2_bound_curves.run,
-    thm2_single_point.EXPERIMENT_ID: thm2_single_point.run,
-    cor3_combined.EXPERIMENT_ID: cor3_combined.run,
-    thm4_pd_scaling.EXPERIMENT_ID: thm4_pd_scaling.run,
-    thm19_rand_scaling.EXPERIMENT_ID: thm19_rand_scaling.run,
-    thm18_cost_class.EXPERIMENT_ID: thm18_cost_class.run,
-    baseline_separation.EXPERIMENT_ID: baseline_separation.run,
-    duality_certificates.EXPERIMENT_ID: duality_certificates.run,
-    covering_lemma.EXPERIMENT_ID: covering_lemma.run,
-    fig3_connection_trace.EXPERIMENT_ID: fig3_connection_trace.run,
-    ofl_substrate.EXPERIMENT_ID: ofl_substrate.run,
-    heavy_commodities.EXPERIMENT_ID: heavy_commodities.run,
-    arrival_order.EXPERIMENT_ID: arrival_order.run,
-}
+EXPERIMENTS = Registry("experiment")
+for _module in (
+    fig2_bound_curves,
+    thm2_single_point,
+    cor3_combined,
+    thm4_pd_scaling,
+    thm19_rand_scaling,
+    thm18_cost_class,
+    baseline_separation,
+    duality_certificates,
+    covering_lemma,
+    fig3_connection_trace,
+    ofl_substrate,
+    heavy_commodities,
+    arrival_order,
+):
+    EXPERIMENTS.add(_module.EXPERIMENT_ID, _module.run)
 
 
 def list_experiments() -> List[str]:
     """All registered experiment ids, in DESIGN.md order."""
-    return list(EXPERIMENTS.keys())
+    return EXPERIMENTS.names()
 
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     """The ``run`` callable of one experiment."""
     try:
-        return EXPERIMENTS[experiment_id]
-    except KeyError as error:
-        raise ExperimentError(
-            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
-        ) from error
+        return EXPERIMENTS.get(experiment_id)
+    except UnknownComponentError as error:
+        # Preserved error type for callers that predate the registry layer.
+        raise ExperimentError(str(error)) from None
 
 
 def run_experiment(

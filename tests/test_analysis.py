@@ -131,6 +131,19 @@ class TestSweep:
         with pytest.raises(ExperimentError):
             ParameterGrid({"a": []})
 
+    def test_generator_valued_parameters_are_not_exhausted(self):
+        # Regression: validation used to consume generator values, silently
+        # yielding zero combinations on iteration.
+        grid = ParameterGrid({"a": (x for x in (1, 2, 3)), "b": range(2)})
+        assert len(grid) == 6
+        points = list(grid)
+        assert len(points) == 6
+        assert list(grid) == points  # re-iterable
+
+    def test_empty_generator_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParameterGrid({"a": (x for x in ())})
+
     def test_run_sweep_serial(self):
         grid = ParameterGrid({"x": [1, 2, 3]})
         rows = run_sweep(lambda p: {"square": p["x"] ** 2}, grid)
