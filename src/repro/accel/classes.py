@@ -1,0 +1,164 @@
+"""Cached per-class distance columns for power-of-two cost classes.
+
+The Meyerson-family algorithms (Meyerson OFL, RAND-OMFLP, the per-commodity
+Meyerson baseline) evaluate, for *every* arriving request, the distances
+``d(C_i, r)`` to the nearest point of every facility cost class ``i`` plus the
+derived "cheapest opening option" ``min_i (C_i + d(C_i, r))``.  The reference
+helpers rescan the class point sets per class per request — O(classes x n)
+per request, with one metric-row gather per class.
+
+:class:`ClassDistanceIndex` computes, on the *first* query from a point, the
+whole distance column ``[d(C_1, r), ..., d(C_k, r)]`` from a single metric
+row: the row is gathered once in class-major point order, reduced to
+per-class minima with one ``np.minimum.reduceat`` pass, and turned into the
+cumulative-class convention with ``np.minimum.accumulate``.  The column is
+memoized (facility costs are static, so it never changes), making repeat
+queries O(1) and the total work O(n) per distinct query point — instead of
+O(classes x n) per request.  No O(n^2) precomputation and no pairwise matrix
+are ever needed.
+
+The *nearest point* of a class is needed only when a coin flip succeeds or a
+feasibility fallback fires — a handful of times per run — so it is resolved
+lazily with exactly the reference's scan (``metric.nearest`` over the
+caller's cumulative point array, in the caller's order) and memoized.  This
+keeps tie-breaking trivially bit-identical: different callers enumerate their
+cumulative sets in different orders (ascending point index for the Meyerson
+helper, class-concatenation for :class:`~repro.costs.classes.CostClassIndex`)
+and ``np.argmin`` resolves equal distances by that order.
+
+Bit-identicality of the columns holds because every entry is a minimum over
+exactly the floats the reference reads (entries of ``distances_from(r)``),
+and a minimum is order-independent; ``cheapest_open_option`` keeps the first
+class attaining its minimum — the reference's strict ``<`` scan order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.classes import CostClassIndex
+from repro.exceptions import AlgorithmError
+from repro.metric.base import MetricSpace
+
+__all__ = ["ClassDistanceIndex"]
+
+
+class ClassDistanceIndex:
+    """Memoized ``d(·, C_i)`` columns under the cumulative class convention.
+
+    Parameters
+    ----------
+    metric:
+        The underlying metric space.
+    class_values:
+        The rounded (power-of-two) cost values ``C_1 < C_2 < ... < C_k``.
+    exact_point_sets:
+        For each class, the point indices whose rounded cost equals that
+        class value exactly (order irrelevant — only minima are taken).
+    cumulative_point_sets:
+        For each class, the points of rounded cost at most that class value,
+        **in the caller's reference enumeration order** — used verbatim for
+        the lazy nearest-point scans so ties break exactly as in the caller's
+        reference path.
+    """
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        class_values: Sequence[float],
+        exact_point_sets: Sequence[Sequence[int]],
+        cumulative_point_sets: Sequence[Sequence[int]],
+    ) -> None:
+        if not class_values or not (
+            len(class_values) == len(exact_point_sets) == len(cumulative_point_sets)
+        ):
+            raise AlgorithmError(
+                "class_values, exact_point_sets and cumulative_point_sets must be "
+                "equally long and non-empty"
+            )
+        self._metric = metric
+        self._values = np.asarray(class_values, dtype=np.float64)
+        self._cumulative: List[np.ndarray] = [
+            np.asarray(points, dtype=np.intp) for points in cumulative_point_sets
+        ]
+        sets = [np.asarray(points, dtype=np.intp) for points in exact_point_sets]
+        if any(points.size == 0 for points in sets):
+            raise AlgorithmError("every cost class must contain at least one point")
+        # Class-major point order plus segment offsets for one reduceat pass.
+        self._order = np.concatenate(sets)
+        self._offsets = np.concatenate(
+            ([0], np.cumsum([points.size for points in sets])[:-1])
+        )
+        self._columns: Dict[int, np.ndarray] = {}
+        self._nearest_cache: Dict[Tuple[int, int], Tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cost_index(cls, metric: MetricSpace, index: CostClassIndex) -> "ClassDistanceIndex":
+        """Build the index for an existing :class:`CostClassIndex`."""
+        return cls(
+            metric,
+            [c.value for c in index.classes],
+            [c.points for c in index.classes],
+            [c.cumulative_points for c in index.classes],
+        )
+
+    # ------------------------------------------------------------------
+    def _column(self, point: int) -> np.ndarray:
+        """``[d(C_1, point), ..., d(C_k, point)]`` — computed once per point."""
+        column = self._columns.get(point)
+        if column is None:
+            row = np.asarray(self._metric.distances_from(point), dtype=np.float64)
+            per_class = np.minimum.reduceat(row[self._order], self._offsets)
+            column = np.minimum.accumulate(per_class)
+            self._columns[point] = column
+        return column
+
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return int(self._values.size)
+
+    def class_value(self, index: int) -> float:
+        """``C_i`` for the 1-based class index."""
+        return float(self._values[index - 1])
+
+    def class_distances(self, point: int) -> np.ndarray:
+        """Vector ``[d(C_1, point), ..., d(C_k, point)]`` (a fresh copy)."""
+        return self._column(point).copy()
+
+    def distance_to_class(self, index: int, point: int) -> float:
+        """``d(C_i, point)`` for the 1-based class index (O(1) after first query)."""
+        return float(self._column(point)[index - 1])
+
+    def nearest_point_of_class(self, index: int, point: int) -> Tuple[int, float]:
+        """Closest point of rounded cost at most ``C_i`` and its distance.
+
+        Resolved with the reference's own scan over the caller's cumulative
+        point order (memoized) — see the module docstring.
+        """
+        key = (index, point)
+        cached = self._nearest_cache.get(key)
+        if cached is None:
+            nearest, distance = self._metric.nearest(point, self._cumulative[index - 1])
+            cached = (int(nearest), float(distance))
+            self._nearest_cache[key] = cached
+        return cached
+
+    def cheapest_open_option(self, point: int) -> Tuple[int, float]:
+        """``(argmin_i, min_i { C_i + d(C_i, point) })`` with 1-based index.
+
+        ``np.argmin`` keeps the first class attaining the minimum, matching
+        the reference's strict ``<`` scan over ascending class indices.
+        """
+        options = self._values + self._column(point)
+        best = int(np.argmin(options))
+        return best + 1, float(options[best])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClassDistanceIndex(classes={self.num_classes}, "
+            f"num_points={self._metric.num_points})"
+        )

@@ -15,6 +15,14 @@ Two artifacts live here:
 * :class:`FotakisOFLAlgorithm` — the classical OFL algorithm as an
   :class:`~repro.algorithms.base.OnlineAlgorithm` for instances with
   ``|S| = 1`` (used by the substrate sanity experiment).
+
+Acceleration (``use_accel``, default on): the bid sums over earlier demands
+are evaluated from a preallocated
+:class:`~repro.accel.history.BidHistoryBuffer` (no per-request Python loop or
+``vstack`` copy over the history) and the nearest-own-facility query is O(1)
+via a :class:`~repro.accel.tracker.NearestSetTracker`.  Both are bit-identical
+to the reference path (``use_accel=False``), which is retained for the
+equivalence harness.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accel.history import BidHistoryBuffer
+from repro.accel.tracker import NearestSetTracker
 from repro.algorithms.base import OnlineAlgorithm
 from repro.core.assignment import Assignment
 from repro.core.instance import Instance
@@ -59,7 +69,9 @@ class SingleCommodityPrimalDual:
         Vector of facility opening costs per point for this commodity.
     """
 
-    def __init__(self, metric: MetricSpace, opening_costs: Sequence[float]) -> None:
+    def __init__(
+        self, metric: MetricSpace, opening_costs: Sequence[float], *, use_accel: bool = True
+    ) -> None:
         costs = np.asarray(opening_costs, dtype=np.float64)
         if costs.shape != (metric.num_points,):
             raise AlgorithmError(
@@ -67,9 +79,16 @@ class SingleCommodityPrimalDual:
             )
         self._metric = metric
         self._costs = costs
-        self._history: List[_HistoryEntry] = []
+        self._history: List[_HistoryEntry] = []  # reference-path bid state only
+        self._dual_values: List[float] = []
         self._facility_points: List[int] = []
         self._row_cache: Dict[int, np.ndarray] = {}
+        self._use_accel = bool(use_accel)
+        self._buffer: Optional[BidHistoryBuffer] = None
+        self._tracker: Optional[NearestSetTracker] = None
+        if self._use_accel:
+            self._buffer = BidHistoryBuffer(metric)
+            self._tracker = NearestSetTracker(metric)
 
     # ------------------------------------------------------------------
     @property
@@ -79,7 +98,7 @@ class SingleCommodityPrimalDual:
     @property
     def duals(self) -> List[float]:
         """Dual value raised for each processed demand, in arrival order."""
-        return [entry.dual for entry in self._history]
+        return list(self._dual_values)
 
     def _row(self, point: int) -> np.ndarray:
         row = self._row_cache.get(point)
@@ -90,11 +109,29 @@ class SingleCommodityPrimalDual:
 
     def _nearest_own_facility(self, point: int) -> Tuple[Optional[int], float]:
         """(index into facility_points, distance) of the nearest own facility."""
+        if self._tracker is not None:
+            entry = self._tracker.nearest(point)
+            if entry is None:
+                return None, float("inf")
+            return entry
         if not self._facility_points:
             return None, float("inf")
         distances = self._metric.distances_between(point, self._facility_points)
         best = int(np.argmin(distances))
         return best, float(distances[best])
+
+    def _bid_base(self) -> np.ndarray:
+        """Bid sum of earlier demands towards every point (constraint (3))."""
+        if self._buffer is not None:
+            return self._buffer.base()
+        if not self._history:
+            return np.zeros(self._metric.num_points, dtype=np.float64)
+        bids = np.array(
+            [min(entry.dual, entry.nearest_distance) for entry in self._history],
+            dtype=np.float64,
+        )
+        rows = np.vstack([self._row(entry.point) for entry in self._history])
+        return np.maximum(bids[:, None] - rows, 0.0).sum(axis=0)
 
     # ------------------------------------------------------------------
     def decide(self, point: int) -> Tuple[str, int, float]:
@@ -106,19 +143,9 @@ class SingleCommodityPrimalDual:
         — note the different meaning — and the demand is served from it).
         """
         row = self._row(point)
-        _, nearest_distance = self._nearest_own_facility(point)
+        slot, nearest_distance = self._nearest_own_facility(point)
 
-        # Bid sum of earlier demands towards every point (constraint (3) with
-        # a single commodity).
-        if self._history:
-            bids = np.array(
-                [min(entry.dual, entry.nearest_distance) for entry in self._history],
-                dtype=np.float64,
-            )
-            rows = np.vstack([self._row(entry.point) for entry in self._history])
-            base = np.maximum(bids[:, None] - rows, 0.0).sum(axis=0)
-        else:
-            base = np.zeros(self._metric.num_points, dtype=np.float64)
+        base = self._bid_base()
         slack = np.maximum(self._costs - base, 0.0)
         open_trigger = row + slack
         open_point = int(np.argmin(open_trigger))
@@ -126,22 +153,33 @@ class SingleCommodityPrimalDual:
 
         if nearest_distance <= open_level + 1e-12:
             dual = nearest_distance
-            slot, _ = self._nearest_own_facility(point)
             kind, payload = "connect", int(slot)
         else:
             dual = open_level
             self._facility_points.append(open_point)
+            if self._tracker is not None:
+                self._tracker.add(open_point, tag=len(self._facility_points) - 1)
             kind, payload = "open", open_point
 
-        # Update history (the new demand's nearest distance reflects the
-        # facility set after its own processing).
+        # Update the bid history (the new demand's nearest distance reflects
+        # the facility set after its own processing).  The _HistoryEntry list
+        # backs only the reference bid sums, so the accel path does not grow
+        # it — stale entries would otherwise linger for anyone inspecting it.
         _, new_nearest = self._nearest_own_facility(point)
-        for entry in self._history:
+        if self._buffer is not None:
             if kind == "open":
-                entry.nearest_distance = min(
-                    entry.nearest_distance, float(self._row(open_point)[entry.point])
-                )
-        self._history.append(_HistoryEntry(point=point, dual=dual, nearest_distance=new_nearest))
+                self._buffer.update_nearest(self._row(open_point))
+            self._buffer.append(point, dual, new_nearest, row=row)
+        else:
+            for entry in self._history:
+                if kind == "open":
+                    entry.nearest_distance = min(
+                        entry.nearest_distance, float(self._row(open_point)[entry.point])
+                    )
+            self._history.append(
+                _HistoryEntry(point=point, dual=dual, nearest_distance=new_nearest)
+            )
+        self._dual_values.append(dual)
         return kind, payload, dual
 
 
@@ -156,8 +194,9 @@ class FotakisOFLAlgorithm(OnlineAlgorithm):
 
     randomized = False
 
-    def __init__(self) -> None:
+    def __init__(self, *, use_accel: bool = True) -> None:
         self.name = "fotakis-ofl"
+        self._use_accel = bool(use_accel)
         self._helper: Optional[SingleCommodityPrimalDual] = None
         self._facility_of_slot: Dict[int, int] = {}
 
@@ -168,7 +207,9 @@ class FotakisOFLAlgorithm(OnlineAlgorithm):
                 f"|S| = {instance.num_commodities}"
             )
         costs = instance.cost_function.costs_over_points((0,), list(range(instance.num_points)))
-        self._helper = SingleCommodityPrimalDual(instance.metric, costs)
+        self._helper = SingleCommodityPrimalDual(
+            instance.metric, costs, use_accel=self._use_accel
+        )
         self._facility_of_slot = {}
 
     def process(self, request: Request, state: OnlineState, rng) -> None:

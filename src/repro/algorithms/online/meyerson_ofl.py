@@ -12,6 +12,16 @@ self-contained helper (:class:`SingleCommodityMeyerson`) so that the
 per-commodity decomposition baseline can instantiate one per commodity, and a
 thin :class:`MeyersonOFLAlgorithm` exposes the classical single-commodity
 algorithm.
+
+Acceleration (``use_accel``, default on): the helper precomputes the
+per-class distance tables once (:class:`~repro.accel.classes.ClassDistanceIndex`)
+and tracks its own facility set incrementally
+(:class:`~repro.accel.tracker.NearestSetTracker`), turning the per-demand
+work from O(classes x n) into O(classes + opened x n).  The per-class coin
+probabilities are then computed in one vectorized pass instead of a Python
+loop of scalar ``distance_to_class`` calls; the coins themselves are still
+flipped one class at a time so the RNG consumption — and hence every decision
+— is bit-identical to the reference path (``use_accel=False``).
 """
 
 from __future__ import annotations
@@ -20,6 +30,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accel.classes import ClassDistanceIndex
+from repro.accel.tracker import NearestSetTracker
 from repro.algorithms.base import OnlineAlgorithm
 from repro.core.assignment import Assignment
 from repro.core.instance import Instance
@@ -39,7 +51,9 @@ class SingleCommodityMeyerson:
     facilities onto real state facilities.
     """
 
-    def __init__(self, metric: MetricSpace, opening_costs: Sequence[float]) -> None:
+    def __init__(
+        self, metric: MetricSpace, opening_costs: Sequence[float], *, use_accel: bool = True
+    ) -> None:
         costs = np.asarray(opening_costs, dtype=np.float64)
         if costs.shape != (metric.num_points,):
             raise AlgorithmError(
@@ -50,11 +64,23 @@ class SingleCommodityMeyerson:
         self._rounded = rounded
         values = sorted(set(float(v) for v in rounded))
         self._class_values: List[float] = values
+        self._values_array = np.asarray(values, dtype=np.float64)
         # cumulative point sets: points whose rounded cost is <= class value
+        # (kept as intp arrays so distances_between never re-converts them).
         self._class_points: List[np.ndarray] = [
             np.where(rounded <= value)[0].astype(np.intp) for value in values
         ]
         self._facility_points: List[int] = []
+        self._use_accel = bool(use_accel)
+        self._class_index: Optional[ClassDistanceIndex] = None
+        self._tracker: Optional[NearestSetTracker] = None
+        if self._use_accel:
+            exact = [np.where(rounded == value)[0].astype(np.intp) for value in values]
+            # The cumulative sets are handed over in this helper's reference
+            # enumeration order (ascending point index) so lazy nearest-point
+            # scans tie-break exactly as the reference path does.
+            self._class_index = ClassDistanceIndex(metric, values, exact, self._class_points)
+            self._tracker = NearestSetTracker(metric)
 
     # ------------------------------------------------------------------
     @property
@@ -71,15 +97,24 @@ class SingleCommodityMeyerson:
 
     def distance_to_class(self, index: int, point: int) -> float:
         """Distance to the nearest point of rounded cost at most ``C_i``."""
+        if self._class_index is not None:
+            return self._class_index.distance_to_class(index, point)
         points = self._class_points[index - 1]
-        return float(np.min(self._metric.distances_between(point, list(points))))
+        return float(np.min(self._metric.distances_between(point, points)))
 
     def nearest_point_of_class(self, index: int, point: int) -> int:
-        points = list(self._class_points[index - 1])
+        if self._class_index is not None:
+            return self._class_index.nearest_point_of_class(index, point)[0]
+        points = self._class_points[index - 1]
         nearest, _ = self._metric.nearest(point, points)
         return int(nearest)
 
     def nearest_own_facility(self, point: int) -> Tuple[Optional[int], float]:
+        if self._tracker is not None:
+            entry = self._tracker.nearest(point)
+            if entry is None:
+                return None, float("inf")
+            return entry
         if not self._facility_points:
             return None, float("inf")
         distances = self._metric.distances_between(point, self._facility_points)
@@ -89,11 +124,38 @@ class SingleCommodityMeyerson:
     def connection_budget(self, point: int) -> float:
         """``X(r) = min{d(F, r), min_i (C_i + d(C_i, r))}`` for a demand at ``point``."""
         _, nearest = self.nearest_own_facility(point)
-        cheapest_open = min(
-            self.class_value(i) + self.distance_to_class(i, point)
-            for i in range(1, self.num_classes + 1)
-        )
+        if self._class_index is not None:
+            _, cheapest_open = self._class_index.cheapest_open_option(point)
+        else:
+            cheapest_open = min(
+                self.class_value(i) + self.distance_to_class(i, point)
+                for i in range(1, self.num_classes + 1)
+            )
         return min(nearest, cheapest_open)
+
+    def _append_facility(self, point: int) -> None:
+        self._facility_points.append(int(point))
+        if self._tracker is not None:
+            # Tag = slot index, so nearest_own_facility reports the slot the
+            # reference's argmin over the facility list would report.
+            self._tracker.add(int(point), tag=len(self._facility_points) - 1)
+
+    def _class_probabilities(self, point: int, effective_budget: float) -> np.ndarray:
+        """Vectorized per-class opening probabilities (fast path only)."""
+        distances = self._class_index.class_distances(point)
+        previous = np.empty_like(distances)
+        previous[0] = effective_budget
+        previous[1:] = distances[:-1]
+        increments = previous - distances
+        values = self._values_array
+        probabilities = np.zeros_like(distances)
+        free = values <= 0.0
+        probabilities[free] = (increments[free] > 0.0).astype(np.float64)
+        paid = ~free
+        probabilities[paid] = np.minimum(
+            np.maximum(increments[paid] / values[paid], 0.0), 1.0
+        )
+        return probabilities
 
     # ------------------------------------------------------------------
     def decide(self, point: int, rng, *, budget: Optional[float] = None) -> Tuple[List[int], int, float]:
@@ -109,29 +171,39 @@ class SingleCommodityMeyerson:
         """
         effective_budget = self.connection_budget(point) if budget is None else float(budget)
         opened: List[int] = []
-        previous_distance = effective_budget
-        for i in range(1, self.num_classes + 1):
-            value = self.class_value(i)
-            distance_i = self.distance_to_class(i, point)
-            increment = previous_distance - distance_i
-            previous_distance = distance_i
-            if value <= 0:
-                probability = 1.0 if increment > 0 else 0.0
-            else:
-                probability = min(max(increment / value, 0.0), 1.0)
-            if probability > 0 and rng.uniform() < probability:
-                opened.append(self.nearest_point_of_class(i, point))
+        if self._class_index is not None:
+            probabilities = self._class_probabilities(point, effective_budget)
+            for i in range(1, self.num_classes + 1):
+                probability = float(probabilities[i - 1])
+                if probability > 0 and rng.uniform() < probability:
+                    opened.append(self.nearest_point_of_class(i, point))
+        else:
+            previous_distance = effective_budget
+            for i in range(1, self.num_classes + 1):
+                value = self.class_value(i)
+                distance_i = self.distance_to_class(i, point)
+                increment = previous_distance - distance_i
+                previous_distance = distance_i
+                if value <= 0:
+                    probability = 1.0 if increment > 0 else 0.0
+                else:
+                    probability = min(max(increment / value, 0.0), 1.0)
+                if probability > 0 and rng.uniform() < probability:
+                    opened.append(self.nearest_point_of_class(i, point))
         for new_point in opened:
-            self._facility_points.append(int(new_point))
+            self._append_facility(int(new_point))
         if not self._facility_points:
             # Feasibility fallback: open the cheapest opening option
             # deterministically (changes constants only, see DESIGN.md §4.2).
-            best_i = min(
-                range(1, self.num_classes + 1),
-                key=lambda i: self.class_value(i) + self.distance_to_class(i, point),
-            )
+            if self._class_index is not None:
+                best_i, _ = self._class_index.cheapest_open_option(point)
+            else:
+                best_i = min(
+                    range(1, self.num_classes + 1),
+                    key=lambda i: self.class_value(i) + self.distance_to_class(i, point),
+                )
             fallback = self.nearest_point_of_class(best_i, point)
-            self._facility_points.append(int(fallback))
+            self._append_facility(int(fallback))
             opened.append(int(fallback))
         slot, distance = self.nearest_own_facility(point)
         return opened, int(slot), float(distance)
@@ -142,8 +214,9 @@ class MeyersonOFLAlgorithm(OnlineAlgorithm):
 
     randomized = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, use_accel: bool = True) -> None:
         self.name = "meyerson-ofl"
+        self._use_accel = bool(use_accel)
         self._helper: Optional[SingleCommodityMeyerson] = None
         self._facility_of_slot: Dict[int, int] = {}
 
@@ -154,7 +227,9 @@ class MeyersonOFLAlgorithm(OnlineAlgorithm):
                 f"|S| = {instance.num_commodities}"
             )
         costs = instance.cost_function.costs_over_points((0,), list(range(instance.num_points)))
-        self._helper = SingleCommodityMeyerson(instance.metric, costs)
+        self._helper = SingleCommodityMeyerson(
+            instance.metric, costs, use_accel=self._use_accel
+        )
         self._facility_of_slot = {}
 
     def process(self, request: Request, state: OnlineState, rng) -> None:

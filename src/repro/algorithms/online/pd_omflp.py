@@ -43,6 +43,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accel.history import BidHistoryBuffer
 from repro.algorithms.base import OnlineAlgorithm
 from repro.core.assignment import Assignment
 from repro.core.instance import Instance
@@ -64,13 +65,19 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
 
     randomized = False
 
-    def __init__(self, *, large_configuration: Optional[Iterable[int]] = None) -> None:
+    def __init__(
+        self,
+        *,
+        large_configuration: Optional[Iterable[int]] = None,
+        use_accel: bool = True,
+    ) -> None:
         self._large_override = (
             frozenset(int(e) for e in large_configuration)
             if large_configuration is not None
             else None
         )
         self.name = "pd-omflp" if self._large_override is None else "pd-omflp-restricted"
+        self._use_accel = bool(use_accel)
         # Per-run state; initialized in prepare().
         self._duals: Optional[DualVariableStore] = None
         self._instance: Optional[Instance] = None
@@ -81,6 +88,10 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
         self._row_cache: Dict[int, np.ndarray] = {}
         self._f_small_cache: Dict[int, np.ndarray] = {}
         self._f_large: Optional[np.ndarray] = None
+        # Accelerated bid-history buffers (see repro.accel.history): one per
+        # commodity for constraint (3), one for the large constraint (4).
+        self._small_buffers: Dict[int, BidHistoryBuffer] = {}
+        self._large_buffer: Optional[BidHistoryBuffer] = None
 
     # ------------------------------------------------------------------
     # Run-loop hooks
@@ -104,6 +115,8 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
         self._nearest_large = {}
         self._row_cache = {}
         self._f_small_cache = {}
+        self._small_buffers = {}
+        self._large_buffer = BidHistoryBuffer(instance.metric) if self._use_accel else None
         all_points = list(range(instance.num_points))
         self._f_large = instance.cost_function.costs_over_points(self._large_set, all_points)
 
@@ -130,6 +143,18 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
 
     def _register_opened_facility(self, point: int, configuration: FrozenSet[int]) -> None:
         """Update the cached nearest-facility distances of earlier requests."""
+        if self._use_accel:
+            # Each commodity buffer holds exactly the earlier requests that
+            # demanded that commodity, so the reference's per-entry minimum
+            # becomes one vectorized fold per affected buffer.
+            row = self._distance_row(point)
+            for commodity in configuration:
+                buffer = self._small_buffers.get(commodity)
+                if buffer is not None:
+                    buffer.update_nearest(row)
+            if configuration >= self._large_set:
+                self._large_buffer.update_nearest(row)
+            return
         for request in self._history:
             distance = float(self._distance_row(point)[request.point])
             for commodity in configuration & request.commodities:
@@ -152,6 +177,11 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
     def _base_small(self, commodity: int) -> np.ndarray:
         """``sum_{j earlier, e in s_j} (min{a_{je}, d(F(e), j)} - d(m, j))_+`` over all m."""
         num_points = self._instance.num_points
+        if self._use_accel:
+            buffer = self._small_buffers.get(commodity)
+            if buffer is None:
+                return np.zeros(num_points, dtype=np.float64)
+            return buffer.base()
         relevant = [j for j in self._history if commodity in j.commodities]
         if not relevant:
             return np.zeros(num_points, dtype=np.float64)
@@ -171,6 +201,8 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
     def _base_large(self) -> np.ndarray:
         """``sum_{j earlier} (min{sum_e a_{je}, d(F̂, j)} - d(m, j))_+`` over all m."""
         num_points = self._instance.num_points
+        if self._use_accel:
+            return self._large_buffer.base()
         relevant = [j for j in self._history if j.commodities & self._large_set]
         if not relevant:
             return np.zeros(num_points, dtype=np.float64)
@@ -328,15 +360,45 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
             assignment.assign(commodity, served_by[commodity])
         state.record_assignment(request, assignment)
 
-        # The request joins the history; cache its nearest-facility distances
-        # with respect to the facility set *after* its own processing.
-        self._history.append(request)
-        for commodity in commodities:
-            self._nearest_small[(request.index, commodity)] = state.distance_to_nearest(
-                commodity, point
-            )
-        entry = self._nearest_covering_large(state, point)
-        self._nearest_large[request.index] = entry[1] if entry is not None else float("inf")
+        # The request joins the bid history; cache its nearest-facility
+        # distances with respect to the facility set *after* its own
+        # processing.  (self._history backs only the reference bid sums, so
+        # the accel path does not grow it — stale entries would otherwise
+        # linger for anyone inspecting it.)
+        if self._use_accel:
+            row = self._distance_row(point)
+            for commodity in commodities:
+                buffer = self._small_buffers.get(commodity)
+                if buffer is None:
+                    buffer = self._small_buffers[commodity] = BidHistoryBuffer(
+                        self._instance.metric
+                    )
+                buffer.append(
+                    point,
+                    self._duals.get(request.index, commodity),
+                    state.distance_to_nearest(commodity, point),
+                    row=row,
+                )
+            if request.commodities & self._large_set:
+                dual_sum = sum(
+                    self._duals.get(request.index, e)
+                    for e in request.commodities & self._large_set
+                )
+                entry = self._nearest_covering_large(state, point)
+                self._large_buffer.append(
+                    point,
+                    dual_sum,
+                    entry[1] if entry is not None else float("inf"),
+                    row=row,
+                )
+        else:
+            self._history.append(request)
+            for commodity in commodities:
+                self._nearest_small[(request.index, commodity)] = state.distance_to_nearest(
+                    commodity, point
+                )
+            entry = self._nearest_covering_large(state, point)
+            self._nearest_large[request.index] = entry[1] if entry is not None else float("inf")
 
     # ------------------------------------------------------------------
     def _next_event(

@@ -39,6 +39,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from repro.accel.classes import ClassDistanceIndex
 from repro.algorithms.base import OnlineAlgorithm
 from repro.core.assignment import Assignment
 from repro.core.instance import Instance
@@ -52,15 +53,26 @@ __all__ = ["RandOMFLPAlgorithm"]
 
 
 class RandOMFLPAlgorithm(OnlineAlgorithm):
-    """Randomized Meyerson-style online algorithm for the OMFLP (Algorithm 2)."""
+    """Randomized Meyerson-style online algorithm for the OMFLP (Algorithm 2).
+
+    With ``use_accel`` (the default) the static per-class distances
+    ``d(C^τ_i, ·)`` come from precomputed
+    :class:`~repro.accel.classes.ClassDistanceIndex` tables (O(1) per query)
+    instead of an O(n) scan per class per request; coin flips, trace events
+    and every decision are bit-identical to the reference path
+    (``use_accel=False``).
+    """
 
     randomized = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, use_accel: bool = True) -> None:
         self.name = "rand-omflp"
+        self._use_accel = bool(use_accel)
         self._instance: Optional[Instance] = None
         self._small_classes: Dict[int, CostClassIndex] = {}
         self._large_classes: Optional[CostClassIndex] = None
+        self._small_accel: Dict[int, ClassDistanceIndex] = {}
+        self._large_accel: Optional[ClassDistanceIndex] = None
 
     # ------------------------------------------------------------------
     def prepare(self, instance: Instance, state: OnlineState, rng) -> None:
@@ -69,8 +81,14 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
         # are built once per run; singleton classes are built lazily because a
         # run may never see some commodities.
         self._small_classes = {}
+        self._small_accel = {}
         self._large_classes = CostClassIndex(
             instance.metric, instance.cost_function, instance.cost_function.full_set
+        )
+        self._large_accel = (
+            ClassDistanceIndex.from_cost_index(instance.metric, self._large_classes)
+            if self._use_accel
+            else None
         )
 
     def _classes_for(self, commodity: int) -> CostClassIndex:
@@ -82,19 +100,42 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
             self._small_classes[commodity] = index
         return index
 
+    def _accel_for(self, commodity: int) -> ClassDistanceIndex:
+        accel = self._small_accel.get(commodity)
+        if accel is None:
+            accel = ClassDistanceIndex.from_cost_index(
+                self._instance.metric, self._classes_for(commodity)
+            )
+            self._small_accel[commodity] = accel
+        return accel
+
+    def _provider_for(self, commodity: int):
+        """Distance-query provider for one commodity's cost classes.
+
+        :class:`CostClassIndex` (reference scans) and
+        :class:`ClassDistanceIndex` (memoized columns) expose the same
+        bit-identical ``distance_to_class`` / ``nearest_point_of_class`` /
+        ``cheapest_open_option`` surface, so every call site below selects
+        the provider once and stays branch-free.
+        """
+        return self._accel_for(commodity) if self._use_accel else self._classes_for(commodity)
+
+    def _large_provider(self):
+        return self._large_accel if self._use_accel else self._large_classes
+
     # ------------------------------------------------------------------
     # Budgets (Section 4.1)
     # ------------------------------------------------------------------
     def _small_budget(self, state: OnlineState, request: Request, commodity: int) -> float:
         """``X(r, e)``."""
         existing = state.distance_to_nearest(commodity, request.point)
-        _, cheapest_open = self._classes_for(commodity).cheapest_open_option(request.point)
+        _, cheapest_open = self._provider_for(commodity).cheapest_open_option(request.point)
         return min(existing, cheapest_open)
 
     def _large_budget(self, state: OnlineState, request: Request) -> float:
         """``Z(r)``."""
         existing = state.distance_to_nearest_large(request.point)
-        _, cheapest_open = self._large_classes.cheapest_open_option(request.point)
+        _, cheapest_open = self._large_provider().cheapest_open_option(request.point)
         return min(existing, cheapest_open)
 
     # ------------------------------------------------------------------
@@ -113,9 +154,10 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
         for e in commodities:
             share = (small_budgets[e] / x_total) if x_total > 0 else (1.0 / len(commodities))
             classes = self._classes_for(e)
+            provider = self._provider_for(e)
             previous_distance = budget
             for cls in classes.classes:
-                distance_i = classes.distance_to_class(cls.index, point)
+                distance_i = provider.distance_to_class(cls.index, point)
                 increment = previous_distance - distance_i
                 previous_distance = distance_i
                 if cls.value <= 0:
@@ -134,13 +176,14 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
                     )
                 )
                 if success:
-                    target, _ = classes.nearest_point_of_class(cls.index, point)
+                    target, _ = provider.nearest_point_of_class(cls.index, point)
                     state.open_facility(request, target, (e,))
 
         # ----- coin flips for the large facility -----------------------------
+        large_provider = self._large_provider()
         previous_distance = budget
         for cls in self._large_classes.classes:
-            distance_i = self._large_classes.distance_to_class(cls.index, point)
+            distance_i = large_provider.distance_to_class(cls.index, point)
             increment = previous_distance - distance_i
             previous_distance = distance_i
             if cls.value <= 0:
@@ -159,15 +202,15 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
                 )
             )
             if success:
-                target, _ = self._large_classes.nearest_point_of_class(cls.index, point)
+                target, _ = large_provider.nearest_point_of_class(cls.index, point)
                 state.open_facility(request, target, self._instance.cost_function.full_set)
 
         # ----- feasibility fallback ------------------------------------------
         for e in commodities:
             if state.distance_to_nearest(e, point) == float("inf"):
-                classes = self._classes_for(e)
-                best_index, _ = classes.cheapest_open_option(point)
-                target, _ = classes.nearest_point_of_class(best_index, point)
+                provider = self._provider_for(e)
+                best_index, _ = provider.cheapest_open_option(point)
+                target, _ = provider.nearest_point_of_class(best_index, point)
                 state.open_facility(request, target, (e,))
 
         # ----- connect the request in the cheapest feasible way --------------
@@ -179,19 +222,18 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
         """Cheapest of: per-commodity nearest facilities vs one large facility."""
         commodities = sorted(request.commodities)
         per_commodity: Dict[int, int] = {}
-        chosen_points: Dict[int, int] = {}
+        distance_of: Dict[int, float] = {}
         for e in commodities:
             entry = state.nearest_offering(e, request.point)
             if entry is None:  # pragma: no cover - prevented by the fallback above
                 raise AlgorithmError(f"no open facility offers commodity {e}")
-            facility, _ = entry
+            facility, distance = entry
             per_commodity[e] = facility.id
-            chosen_points[facility.id] = facility.point
+            # nearest_offering's distance is exactly d(r, facility.point), so
+            # the connection cost needs no O(n) metric.distance row lookups.
+            distance_of[facility.id] = distance
         per_commodity_cost = float(
-            sum(
-                self._instance.metric.distance(request.point, p)
-                for p in (chosen_points[fid] for fid in set(per_commodity.values()))
-            )
+            sum(distance_of[fid] for fid in set(per_commodity.values()))
         )
 
         large_entry = state.nearest_large(request.point)

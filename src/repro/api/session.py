@@ -114,6 +114,12 @@ class OnlineSession:
         Record structured trace events.
     validate:
         Validate feasibility of the final solution in :meth:`finalize`.
+    use_accel:
+        Maintain the incremental nearest-facility distance caches of
+        :mod:`repro.accel` (the default), giving the streaming hot path O(1)
+        ``d(F(e), r)`` / ``d(F̂, r)`` queries.  ``False`` selects the
+        reference per-query scans — bit-identical, kept for the equivalence
+        harness.
     name:
         Instance name used in result rows.
     instance:
@@ -134,6 +140,7 @@ class OnlineSession:
         rng: RandomState = None,
         trace: bool = False,
         validate: bool = True,
+        use_accel: bool = True,
         name: str = "session",
         instance: Optional[Instance] = None,
     ) -> None:
@@ -146,7 +153,9 @@ class OnlineSession:
                 metric, cost, RequestSequence([]), commodities=commodities, name=name
             )
         self._instance = instance
-        self._state = OnlineState(self._instance, trace=Trace(enabled=trace))
+        self._state = OnlineState(
+            self._instance, trace=Trace(enabled=trace), use_accel=use_accel
+        )
         self._requests: list[Request] = []
         self._runtime = 0.0
         self._record: Optional[RunRecord] = None

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.accel.tracker import NearestSetTracker
 from repro.core.requests import Request
 from repro.costs.base import FacilityCostFunction
 from repro.exceptions import InvalidInstanceError
@@ -70,11 +71,21 @@ class FacilityStore:
     """The set ``F`` of currently open facilities with per-commodity indexes.
 
     The store answers the three distance queries the algorithms need —
-    ``d(F(e), r)``, ``d(F̂, r)`` and nearest-facility lookups — each with a
-    single vectorized pass over the relevant facility locations.
+    ``d(F(e), r)``, ``d(F̂, r)`` and nearest-facility lookups.  With
+    ``use_accel`` (the default) each query is O(1) against incremental
+    :class:`~repro.accel.tracker.NearestSetTracker` minima folded in at
+    opening time; with ``use_accel=False`` the reference implementation scans
+    the relevant facility locations with one vectorized pass per query.  The
+    two paths are bit-identical (see :mod:`repro.accel`).
     """
 
-    def __init__(self, metric: MetricSpace, cost_function: FacilityCostFunction) -> None:
+    def __init__(
+        self,
+        metric: MetricSpace,
+        cost_function: FacilityCostFunction,
+        *,
+        use_accel: bool = True,
+    ) -> None:
         self._metric = metric
         self._cost_function = cost_function
         self._facilities: List[Facility] = []
@@ -82,6 +93,9 @@ class FacilityStore:
         self._large: List[int] = []
         self._total_opening_cost = 0.0
         self._full_set = cost_function.full_set
+        self._use_accel = bool(use_accel)
+        self._trackers: Dict[int, NearestSetTracker] = {}
+        self._large_tracker: Optional[NearestSetTracker] = None
 
     # ------------------------------------------------------------------
     # Opening facilities
@@ -105,6 +119,16 @@ class FacilityStore:
         if config == self._full_set:
             self._large.append(facility.id)
         self._total_opening_cost += cost
+        if self._use_accel:
+            for commodity in config:
+                tracker = self._trackers.get(commodity)
+                if tracker is None:
+                    tracker = self._trackers[commodity] = NearestSetTracker(self._metric)
+                tracker.add(facility.point, tag=facility.id)
+            if config == self._full_set:
+                if self._large_tracker is None:
+                    self._large_tracker = NearestSetTracker(self._metric)
+                self._large_tracker.add(facility.point, tag=facility.id)
         return facility
 
     # ------------------------------------------------------------------
@@ -113,6 +137,20 @@ class FacilityStore:
     @property
     def facilities(self) -> List[Facility]:
         return list(self._facilities)
+
+    def facility_map(self) -> Dict[int, Facility]:
+        """Read-only id -> facility mapping maintained incrementally.
+
+        Facility ids are their opening order, so the list indexes itself; the
+        dict view is rebuilt only when facilities were opened since the last
+        call (cheap, and callers on the per-request hot path avoid an O(|F|)
+        rebuild per request).  Callers must not mutate the returned dict.
+        """
+        cached = getattr(self, "_facility_map_cache", None)
+        if cached is None or len(cached) != len(self._facilities):
+            cached = {f.id: f for f in self._facilities}
+            self._facility_map_cache = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self._facilities)
@@ -144,6 +182,9 @@ class FacilityStore:
     # ------------------------------------------------------------------
     def distance_to_nearest(self, commodity: int, point: int) -> float:
         """``d(F(e), r)`` — ``inf`` when no facility offers the commodity yet."""
+        if self._use_accel:
+            tracker = self._trackers.get(commodity)
+            return tracker.distance(point) if tracker is not None else float("inf")
         ids = self._by_commodity.get(commodity)
         if not ids:
             return float("inf")
@@ -152,6 +193,12 @@ class FacilityStore:
 
     def nearest_offering(self, commodity: int, point: int) -> Optional[Tuple[Facility, float]]:
         """Nearest facility offering ``commodity`` and its distance, or ``None``."""
+        if self._use_accel:
+            tracker = self._trackers.get(commodity)
+            if tracker is None:
+                return None
+            facility_id, distance = tracker.nearest(point)
+            return self._facilities[facility_id], distance
         ids = self._by_commodity.get(commodity)
         if not ids:
             return None
@@ -162,6 +209,9 @@ class FacilityStore:
 
     def distance_to_nearest_large(self, point: int) -> float:
         """``d(F̂, r)`` — ``inf`` when no large facility exists yet."""
+        if self._use_accel:
+            tracker = self._large_tracker
+            return tracker.distance(point) if tracker is not None else float("inf")
         if not self._large:
             return float("inf")
         points = [self._facilities[i].point for i in self._large]
@@ -169,6 +219,12 @@ class FacilityStore:
 
     def nearest_large(self, point: int) -> Optional[Tuple[Facility, float]]:
         """Nearest large facility and its distance, or ``None``."""
+        if self._use_accel:
+            tracker = self._large_tracker
+            if tracker is None:
+                return None
+            facility_id, distance = tracker.nearest(point)
+            return self._facilities[facility_id], distance
         if not self._large:
             return None
         points = [self._facilities[i].point for i in self._large]

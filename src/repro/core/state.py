@@ -29,9 +29,17 @@ __all__ = ["OnlineState"]
 class OnlineState:
     """State of one online execution over a fixed instance."""
 
-    def __init__(self, instance: Instance, *, trace: Optional[Trace] = None) -> None:
+    def __init__(
+        self,
+        instance: Instance,
+        *,
+        trace: Optional[Trace] = None,
+        use_accel: bool = True,
+    ) -> None:
         self._instance = instance
-        self._store = FacilityStore(instance.metric, instance.cost_function)
+        self._store = FacilityStore(
+            instance.metric, instance.cost_function, use_accel=use_accel
+        )
         self._assignments: Dict[int, Assignment] = {}
         self._trace = trace if trace is not None else Trace(enabled=False)
         self._full_set = instance.cost_function.full_set
@@ -108,7 +116,7 @@ class OnlineState:
         """Finalize the (irrevocable) assignment of ``request``."""
         if request.index in self._assignments:
             raise AlgorithmError(f"request {request.index} was assigned twice")
-        facilities = {f.id: f for f in self._store.facilities}
+        facilities = self._store.facility_map()
         assignment.validate(request, facilities)
         self._assignments[request.index] = assignment
         self._processed_requests.append(request)

@@ -73,6 +73,7 @@ class CostClassIndex:
         distinct = sorted(set(float(v) for v in rounded))
         classes: List[CostClass] = []
         cumulative: List[int] = []
+        cumulative_arrays: List[np.ndarray] = []
         for i, value in enumerate(distinct, start=1):
             exact = tuple(int(p) for p in np.where(rounded == value)[0])
             cumulative.extend(exact)
@@ -84,7 +85,12 @@ class CostClassIndex:
                     cumulative_points=tuple(cumulative),
                 )
             )
+            cumulative_arrays.append(np.asarray(cumulative, dtype=np.intp))
         self._classes = classes
+        # Pre-converted cumulative point arrays: the distance queries below
+        # run per request per class, and handing distances_between a ready
+        # intp array avoids a list -> array conversion on every call.
+        self._cumulative_arrays = cumulative_arrays
 
     # ------------------------------------------------------------------
     @property
@@ -117,13 +123,13 @@ class CostClassIndex:
 
     def distance_to_class(self, index: int, from_point: int) -> float:
         """``d(C^sigma_i, r)`` under the cumulative convention (see module docstring)."""
-        cls = self._class_at(index)
-        return self._metric.nearest_distance(from_point, list(cls.cumulative_points))
+        self._class_at(index)
+        return self._metric.nearest_distance(from_point, self._cumulative_arrays[index - 1])
 
     def nearest_point_of_class(self, index: int, from_point: int) -> Tuple[int, float]:
         """Closest point whose rounded cost is at most ``C^sigma_i``."""
-        cls = self._class_at(index)
-        return self._metric.nearest(from_point, list(cls.cumulative_points))
+        self._class_at(index)
+        return self._metric.nearest(from_point, self._cumulative_arrays[index - 1])
 
     def cheapest_open_option(self, from_point: int) -> Tuple[int, float]:
         """``(argmin_i, min_i { C^sigma_i + d(C^sigma_i, r) })`` for ``r = from_point``.

@@ -59,6 +59,9 @@ class MetricSpace(abc.ABC):
         """Distance between two points."""
         self._check_point(a)
         self._check_point(b)
+        cached = getattr(self, "_pairwise_cache", None)
+        if cached is not None:
+            return float(cached[a, b])
         return float(self.distances_from(a)[b])
 
     def distances_between(self, point: int, targets: Sequence[int]) -> np.ndarray:
@@ -72,6 +75,27 @@ class MetricSpace(abc.ABC):
                 f"target points out of range [0, {self.num_points}): {targets!r}"
             )
         return self.distances_from(point)[target_array]
+
+    def distances_to(self, point: int) -> np.ndarray:
+        """Distances from every point *to* ``point`` (a pairwise-matrix column).
+
+        The contract required by :mod:`repro.accel` is exactness:
+        ``distances_to(p)[q]`` must be bit-for-bit equal to
+        ``distances_from(q)[p]`` for every ``q``.  When a pairwise matrix is
+        cached (matrix-backed spaces, or after :meth:`pairwise_matrix`) the
+        column is sliced from it, which satisfies the contract even for
+        matrices that are only symmetric up to floating-point noise.
+        Otherwise the row ``distances_from(point)`` is returned, which is
+        exact for the coordinate-based spaces because their distance formulas
+        are symmetric in IEEE arithmetic (``|a - b|`` and ``(a - b)**2`` are
+        unchanged under operand swap).  Subclasses with asymmetric rounding
+        must override this method.
+        """
+        self._check_point(point)
+        cached = getattr(self, "_pairwise_cache", None)
+        if cached is not None:
+            return np.ascontiguousarray(cached[:, point])
+        return self.distances_from(point)
 
     def nearest(self, point: int, candidates: Sequence[int]) -> Tuple[int, float]:
         """Return ``(candidate, distance)`` of the closest candidate to ``point``.
@@ -95,7 +119,10 @@ class MetricSpace(abc.ABC):
         cached = getattr(self, "_pairwise_cache", None)
         if cached is not None:
             return cached
-        matrix = np.vstack([self.distances_from(i) for i in range(self.num_points)])
+        n = self.num_points
+        matrix = np.empty((n, n), dtype=np.float64)
+        for i in range(n):
+            matrix[i] = self.distances_from(i)
         self._pairwise_cache = matrix
         return matrix
 

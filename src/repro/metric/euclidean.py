@@ -61,6 +61,29 @@ class EuclideanMetric(MetricSpace):
         delta = self._coords - self._coords[point]
         return np.sqrt(np.einsum("ij,ij->i", delta, delta))
 
+    def pairwise_matrix(self) -> np.ndarray:
+        """Chunk-vectorized full distance matrix.
+
+        Each chunk evaluates the same ``sqrt(einsum((a-b)**2))`` expression as
+        :meth:`distances_from`, contracting over the (small) coordinate axis
+        in the same order, so every row is bit-for-bit the row
+        ``distances_from`` would return — a requirement of the
+        :meth:`~repro.metric.base.MetricSpace.distances_to` contract.
+        """
+        cached = getattr(self, "_pairwise_cache", None)
+        if cached is not None:
+            return cached
+        n, d = self._coords.shape
+        matrix = np.empty((n, n), dtype=np.float64)
+        # Cap the (chunk, n, d) difference tensor at ~8M elements (~64 MB).
+        chunk = max(1, (8 << 20) // max(n * d, 1))
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            delta = self._coords[None, :, :] - self._coords[start:stop, None, :]
+            np.sqrt(np.einsum("bij,bij->bi", delta, delta), out=matrix[start:stop])
+        self._pairwise_cache = matrix
+        return matrix
+
     def nearest_any(self, point: int) -> Tuple[int, float]:
         """Closest *other* point in the whole space (KD-tree accelerated)."""
         self._check_point(point)

@@ -1,0 +1,252 @@
+"""Bit-identical equivalence of the accelerated and reference hot paths.
+
+The acceleration layer (:mod:`repro.accel`) claims to be an *exact* drop-in:
+for every algorithm, metric space, workload and seed, the fast path
+(``use_accel=True``, the default) must produce byte-for-byte the same run as
+the reference scans it replaces — same total/opening/connection cost, same
+facility-opening sequence (ids, points, configurations, costs), and the same
+assignment trace (which facility serves which commodity of every request,
+with the same per-request connection cost).
+
+This harness pins that claim over a grid of scenarios and 5 seeds each, so
+any future change that breaks exactness fails loudly by name.  Equality is
+asserted with ``==`` on floats throughout — "close" is not good enough here;
+the accel layer's whole contract is bitwise equality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import OnlineAlgorithm, OnlineResult, run_online
+from repro.algorithms.online.fotakis_ofl import FotakisOFLAlgorithm
+from repro.algorithms.online.meyerson_ofl import MeyersonOFLAlgorithm
+from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+from repro.algorithms.online.per_commodity import PerCommodityAlgorithm
+from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+from repro.core.commodities import CommodityUniverse
+from repro.core.instance import Instance
+from repro.core.requests import Request, RequestSequence
+from repro.costs.count_based import PowerCost
+from repro.costs.general import PerPointScaledCost
+from repro.metric.factories import (
+    random_euclidean_metric,
+    random_graph_metric,
+    random_line_metric,
+    random_tree_metric,
+)
+from repro.metric.grid import GridMetric
+from repro.metric.matrix import ExplicitMetric
+from repro.metric.single_point import SinglePointMetric
+from repro.utils.rng import ensure_rng
+from repro.workloads.clustered import clustered_workload
+from repro.workloads.uniform import uniform_workload
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# Scenario grid: (name, num_commodities, instance builder)
+# ---------------------------------------------------------------------------
+def _random_requests(metric, num_commodities: int, num_requests: int, rng) -> RequestSequence:
+    """Uniform random requests over the given metric's points."""
+    requests = []
+    for index in range(num_requests):
+        point = int(rng.integers(0, metric.num_points))
+        size = int(rng.integers(1, num_commodities + 1))
+        commodities = rng.choice(num_commodities, size=size, replace=False)
+        requests.append(
+            Request(index=index, point=point, commodities=frozenset(int(e) for e in commodities))
+        )
+    return RequestSequence(requests)
+
+
+def _instance_on(metric, num_commodities: int, seed: int, *, scaled_costs: bool = False):
+    rng = ensure_rng(seed)
+    cost = PowerCost(num_commodities, 1.0, scale=0.5)
+    if scaled_costs:
+        # Non-uniform per-point opening costs exercise multi-class behaviour
+        # (uniform PowerCost collapses to a single power-of-two class).
+        scales = rng.uniform(0.5, 8.0, size=metric.num_points)
+        cost = PerPointScaledCost(cost, scales)
+    requests = _random_requests(metric, num_commodities, 25, rng)
+    return Instance(
+        metric, cost, requests, commodities=CommodityUniverse(num_commodities)
+    )
+
+
+def _euclidean_single(seed: int) -> Instance:
+    return _instance_on(
+        random_euclidean_metric(40, rng=seed), 1, seed, scaled_costs=True
+    )
+
+
+def _line_single(seed: int) -> Instance:
+    return _instance_on(random_line_metric(32, rng=seed), 1, seed, scaled_costs=True)
+
+
+def _clustered_multi(seed: int) -> Instance:
+    return clustered_workload(
+        num_requests=25, num_commodities=6, num_clusters=3, rng=seed
+    ).instance
+
+
+def _grid_multi(seed: int) -> Instance:
+    return _instance_on(GridMetric.full_grid(6, 6), 5, seed, scaled_costs=True)
+
+
+def _tree_multi(seed: int) -> Instance:
+    return _instance_on(random_tree_metric(30, rng=seed), 4, seed, scaled_costs=True)
+
+
+def _graph_matrix_multi(seed: int) -> Instance:
+    # Shortest-path matrix rewrapped as an explicit matrix metric: exercises
+    # the column-slice path of distances_to on a (potentially) only
+    # approximately symmetric stored matrix.
+    graph = random_graph_metric(28, rng=seed)
+    return _instance_on(ExplicitMetric(graph.pairwise_matrix()), 4, seed, scaled_costs=True)
+
+
+def _single_point_multi(seed: int) -> Instance:
+    # The Theorem-2 degenerate space: all distances vanish, only facility
+    # configuration decisions matter.
+    return _instance_on(SinglePointMetric(), 6, seed)
+
+
+def _uniform_euclidean_multi(seed: int) -> Instance:
+    return uniform_workload(
+        num_requests=25, num_commodities=5, num_points=36, rng=seed
+    ).instance
+
+
+SCENARIOS: List[Tuple[str, int, Callable[[int], Instance]]] = [
+    ("euclidean-single", 1, _euclidean_single),
+    ("line-single", 1, _line_single),
+    ("clustered-euclidean", 6, _clustered_multi),
+    ("grid-l1", 5, _grid_multi),
+    ("tree", 4, _tree_multi),
+    ("graph-matrix", 4, _graph_matrix_multi),
+    ("single-point", 6, _single_point_multi),
+    ("uniform-euclidean", 5, _uniform_euclidean_multi),
+]
+
+#: name -> (factory taking use_accel, single_commodity_only)
+ALGORITHMS: Dict[str, Tuple[Callable[[bool], OnlineAlgorithm], bool]] = {
+    "meyerson-ofl": (lambda ua: MeyersonOFLAlgorithm(use_accel=ua), True),
+    "fotakis-ofl": (lambda ua: FotakisOFLAlgorithm(use_accel=ua), True),
+    "pd-omflp": (lambda ua: PDOMFLPAlgorithm(use_accel=ua), False),
+    "rand-omflp": (lambda ua: RandOMFLPAlgorithm(use_accel=ua), False),
+    "per-commodity-fotakis": (lambda ua: PerCommodityAlgorithm("fotakis", use_accel=ua), False),
+    "per-commodity-meyerson": (lambda ua: PerCommodityAlgorithm("meyerson", use_accel=ua), False),
+}
+
+CASES = [
+    pytest.param(algorithm_name, scenario_name, seed, id=f"{algorithm_name}-{scenario_name}-s{seed}")
+    for algorithm_name, (_, single_only) in ALGORITHMS.items()
+    for scenario_name, num_commodities, _ in SCENARIOS
+    if not (single_only and num_commodities != 1)
+    for seed in SEEDS
+]
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting one run
+# ---------------------------------------------------------------------------
+def _facility_sequence(result: OnlineResult) -> List[Tuple[int, int, Tuple[int, ...], float]]:
+    """(id, point, configuration, opening cost) in opening order."""
+    return [
+        (f.id, f.point, tuple(sorted(f.configuration)), f.opening_cost)
+        for f in result.solution.facilities
+    ]
+
+
+def _assignment_trace(result: OnlineResult) -> List[Tuple[int, Tuple[Tuple[int, int], ...]]]:
+    """(request index, sorted (commodity, facility id) pairs) per request."""
+    return [
+        (a.request_index, tuple(sorted(a.facility_of_commodity.items())))
+        for a in result.solution.assignments
+    ]
+
+
+def _per_request_connection_costs(result: OnlineResult) -> List[float]:
+    return [
+        event.connection_cost
+        for event in result.trace.events
+        if type(event).__name__ == "RequestAssignedEvent"
+    ]
+
+
+def _run(algorithm_name: str, scenario_name: str, seed: int, use_accel: bool) -> OnlineResult:
+    factory, _ = ALGORITHMS[algorithm_name]
+    builder = next(b for name, _, b in SCENARIOS if name == scenario_name)
+    instance = builder(seed)
+    return run_online(
+        factory(use_accel), instance, rng=seed, trace=True, use_accel=use_accel
+    )
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm_name,scenario_name,seed", CASES)
+def test_fast_path_is_bit_identical_to_reference(algorithm_name, scenario_name, seed):
+    reference = _run(algorithm_name, scenario_name, seed, use_accel=False)
+    fast = _run(algorithm_name, scenario_name, seed, use_accel=True)
+
+    # Exact cost equality — bitwise, not approximate.
+    assert fast.total_cost == reference.total_cost
+    assert fast.opening_cost == reference.opening_cost
+    assert fast.connection_cost == reference.connection_cost
+
+    # Identical facility-opening sequence.
+    assert _facility_sequence(fast) == _facility_sequence(reference)
+
+    # Identical assignment trace (commodity -> facility id per request) and
+    # identical per-request connection costs.
+    assert _assignment_trace(fast) == _assignment_trace(reference)
+    assert _per_request_connection_costs(fast) == _per_request_connection_costs(reference)
+
+
+def test_streaming_session_matches_batch_fast_path():
+    """The accel caches thread through OnlineSession identically to batch."""
+    from repro.api.session import OnlineSession
+
+    instance = _clustered_multi(7)
+    batch = run_online(PDOMFLPAlgorithm(), instance, use_accel=True)
+    session = OnlineSession(
+        PDOMFLPAlgorithm(),
+        instance.metric,
+        instance.cost_function,
+        commodities=instance.commodities,
+        use_accel=True,
+        instance=instance,
+    )
+    for request in instance.requests:
+        session.submit(request.point, request.commodities)
+    record = session.finalize()
+    assert record.total_cost == batch.total_cost
+    assert _facility_sequence(record.source) == _facility_sequence(batch)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_meyerson_budget_override_equivalence(seed):
+    """SingleCommodityMeyerson.decide with an explicit budget (the RAND-OMFLP
+    entry point) is bit-identical between the fast and reference helper."""
+    from repro.algorithms.online.meyerson_ofl import SingleCommodityMeyerson
+
+    rng = ensure_rng(seed)
+    metric = random_euclidean_metric(30, rng=seed)
+    costs = rng.uniform(0.25, 4.0, size=metric.num_points)
+    reference = SingleCommodityMeyerson(metric, costs, use_accel=False)
+    fast = SingleCommodityMeyerson(metric, costs, use_accel=True)
+    rng_ref, rng_fast = ensure_rng(seed + 1), ensure_rng(seed + 1)
+    for _ in range(40):
+        point = int(rng.integers(0, metric.num_points))
+        budget = float(rng.uniform(0.0, 2.0)) if rng.uniform() < 0.5 else None
+        out_ref = reference.decide(point, rng_ref, budget=budget)
+        out_fast = fast.decide(point, rng_fast, budget=budget)
+        assert out_fast == out_ref
+    assert fast.facility_points == reference.facility_points
