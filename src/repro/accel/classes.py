@@ -30,6 +30,12 @@ Bit-identicality of the columns holds because every entry is a minimum over
 exactly the floats the reference reads (entries of ``distances_from(r)``),
 and a minimum is order-independent; ``cheapest_open_option`` keeps the first
 class attaining its minimum — the reference's strict ``<`` scan order.
+
+The index holds no run-dependent state — columns and nearest-point entries
+are memoized pure functions of the static metric and cost classes — so the
+session snapshot codec (:mod:`repro.service.snapshot`) never serializes it; a
+restored session simply repopulates the memos on demand with identical
+values.
 """
 
 from __future__ import annotations

@@ -30,11 +30,13 @@ buffers is O(sum of demand sizes x n); for memory-constrained runs the
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.exceptions import SnapshotError
 from repro.metric.base import MetricSpace
+from repro.utils.encoding import decode_floats, encode_floats
 
 __all__ = ["BidHistoryBuffer"]
 
@@ -97,6 +99,35 @@ class BidHistoryBuffer:
             np.minimum(
                 self._nearest[:h], opened_row[self._points[:h]], out=self._nearest[:h]
             )
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot: per-entry point, dual and nearest distance.
+
+        The O(entries x n) distance rows are *not* stored — they are pure
+        metric rows, refetched bit-identically by :meth:`load_state_dict`.
+        Nearest distances may be ``inf`` and are string-encoded for strict
+        JSON (see :mod:`repro.utils.encoding`).
+        """
+        h = self._size
+        return {
+            "points": [int(p) for p in self._points[:h]],
+            "duals": [float(d) for d in self._duals[:h]],
+            "nearest": encode_floats(self._nearest[:h]),
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Rebuild the buffer by replaying ``append`` (requires a fresh buffer)."""
+        if self._size:
+            raise SnapshotError(
+                f"BidHistoryBuffer.load_state_dict requires an empty buffer; "
+                f"this one already holds {self._size} entries"
+            )
+        nearest = decode_floats(state["nearest"])
+        for point, dual, near in zip(state["points"], state["duals"], nearest):
+            self.append(int(point), float(dual), near)
 
     # ------------------------------------------------------------------
     def base(self) -> np.ndarray:

@@ -16,6 +16,11 @@ Bit-identicality with the reference scan is guaranteed by two invariants:
    the tracked minima are minima over exactly the floats the reference reads.
 2. Ties are broken towards the earliest-added member (strict ``<`` update),
    which is what ``np.argmin`` over members in insertion order returns.
+
+Trackers are deliberately *not* serialized by the session snapshot codec
+(:mod:`repro.service.snapshot`): their arrays are a pure fold over the member
+sequence, so restoring a snapshot replays the same ``add`` calls in the same
+order and reproduces ``_dmin``/``_tags`` bit-for-bit.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.core.instance import Instance
 from repro.core.requests import Request
@@ -19,6 +19,7 @@ from repro.core.solution import CostBreakdown, Solution
 from repro.core.state import OnlineState
 from repro.core.trace import Trace
 from repro.dual.variables import DualVariableStore
+from repro.exceptions import SnapshotError
 from repro.utils.rng import RandomState
 
 __all__ = ["OnlineAlgorithm", "OnlineResult", "OfflineSolver", "OfflineResult", "run_online"]
@@ -54,6 +55,39 @@ class OnlineAlgorithm(abc.ABC):
     def duals(self) -> Optional[DualVariableStore]:
         """Dual variables raised by the run, when the algorithm maintains them."""
         return None
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (durable sessions, see repro.service)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot of the algorithm's *per-run mutable* state.
+
+        The contract mirrors the torch idiom: ``state_dict`` captures exactly
+        the decision-relevant state accumulated since :meth:`prepare` (helper
+        facility lists, dual stores, bid histories, slot maps) and
+        :meth:`load_state_dict` restores it onto a freshly ``prepare``-d
+        instance such that every subsequent :meth:`process` call — given the
+        same restored RNG stream and :class:`OnlineState` — is bit-identical
+        to an uninterrupted run.  Static precomputations (cost classes,
+        distance tables, memo caches) are *not* captured; they are pure
+        functions of the instance and are rebuilt by ``prepare`` or lazily.
+
+        Stateless algorithms inherit this default, which returns ``{}``.
+        """
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this algorithm.
+
+        Must be called after :meth:`prepare` ran against an equivalent
+        instance, and before any :meth:`process` call.  The default accepts
+        only the empty snapshot of a stateless algorithm.
+        """
+        if state:
+            raise SnapshotError(
+                f"{self.name} is stateless and cannot load a non-empty "
+                f"snapshot state (got keys {sorted(state)})"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -31,6 +31,10 @@ class AlwaysLargeGreedy(OnlineAlgorithm):
     def __init__(self) -> None:
         self.name = "always-large-greedy"
 
+    # Snapshot hooks: stateless between requests (decisions read the shared
+    # OnlineState only), so the inherited state_dict()/load_state_dict()
+    # defaults are exact.
+
     def process(self, request: Request, state: OnlineState, rng) -> None:
         cost_function = state.instance.cost_function
         nearest = state.nearest_large(request.point)

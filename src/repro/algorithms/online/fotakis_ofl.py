@@ -28,7 +28,7 @@ equivalence harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,8 +39,9 @@ from repro.core.assignment import Assignment
 from repro.core.instance import Instance
 from repro.core.requests import Request
 from repro.core.state import OnlineState
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, SnapshotError
 from repro.metric.base import MetricSpace
+from repro.utils.encoding import decode_float, encode_float
 
 __all__ = ["SingleCommodityPrimalDual", "FotakisOFLAlgorithm"]
 
@@ -134,6 +135,56 @@ class SingleCommodityPrimalDual:
         return np.maximum(bids[:, None] - rows, 0.0).sum(axis=0)
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Facility points, dual values and the bid history of the helper.
+
+        The shape of ``history`` is the same for both hot paths — per-entry
+        ``(point, dual, nearest)`` triples — so the snapshot is agnostic to
+        which path produced it; distance rows are refetched on restore.
+        """
+        if self._buffer is not None:
+            history = self._buffer.state_dict()
+        else:
+            history = {
+                "points": [entry.point for entry in self._history],
+                "duals": [entry.dual for entry in self._history],
+                "nearest": [encode_float(entry.nearest_distance) for entry in self._history],
+            }
+        return {
+            "facility_points": list(self._facility_points),
+            "dual_values": [float(v) for v in self._dual_values],
+            "history": history,
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Replay facility openings and reload the bid history (fresh helper only)."""
+        if self._facility_points or self._dual_values:
+            raise SnapshotError(
+                "SingleCommodityPrimalDual.load_state_dict requires a fresh helper"
+            )
+        for point in state["facility_points"]:
+            self._facility_points.append(int(point))
+            if self._tracker is not None:
+                self._tracker.add(int(point), tag=len(self._facility_points) - 1)
+        self._dual_values = [float(v) for v in state["dual_values"]]
+        history = state["history"]
+        if self._buffer is not None:
+            self._buffer.load_state_dict(history)
+        else:
+            for point, dual, nearest in zip(
+                history["points"], history["duals"], history["nearest"]
+            ):
+                self._history.append(
+                    _HistoryEntry(
+                        point=int(point),
+                        dual=float(dual),
+                        nearest_distance=decode_float(nearest),
+                    )
+                )
+
+    # ------------------------------------------------------------------
     def decide(self, point: int) -> Tuple[str, int, float]:
         """Process a demand at ``point``.
 
@@ -211,6 +262,24 @@ class FotakisOFLAlgorithm(OnlineAlgorithm):
             instance.metric, costs, use_accel=self._use_accel
         )
         self._facility_of_slot = {}
+
+    def state_dict(self) -> Dict[str, Any]:
+        if self._helper is None:
+            raise AlgorithmError("prepare() was not called before state_dict()")
+        return {
+            "helper": self._helper.state_dict(),
+            "facility_of_slot": [
+                [slot, fid] for slot, fid in self._facility_of_slot.items()
+            ],
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        if self._helper is None:
+            raise AlgorithmError("prepare() was not called before load_state_dict()")
+        self._helper.load_state_dict(state["helper"])
+        self._facility_of_slot = {
+            int(slot): int(fid) for slot, fid in state["facility_of_slot"]
+        }
 
     def process(self, request: Request, state: OnlineState, rng) -> None:
         if self._helper is None:

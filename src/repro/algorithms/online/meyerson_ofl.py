@@ -26,7 +26,7 @@ flipped one class at a time so the RNG consumption — and hence every decision
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from repro.core.assignment import Assignment
 from repro.core.instance import Instance
 from repro.core.requests import Request
 from repro.core.state import OnlineState
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, SnapshotError
 from repro.metric.base import MetricSpace
 from repro.utils.maths import round_down_power_of_two
 
@@ -140,6 +140,22 @@ class SingleCommodityMeyerson:
             # reference's argmin over the facility list would report.
             self._tracker.add(int(point), tag=len(self._facility_points) - 1)
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """The helper's only mutable state: its facility points, in order."""
+        return {"facility_points": list(self._facility_points)}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Replay the facility openings (refolds the tracker identically)."""
+        if self._facility_points:
+            raise SnapshotError(
+                "SingleCommodityMeyerson.load_state_dict requires a fresh helper"
+            )
+        for point in state["facility_points"]:
+            self._append_facility(int(point))
+
     def _class_probabilities(self, point: int, effective_budget: float) -> np.ndarray:
         """Vectorized per-class opening probabilities (fast path only)."""
         distances = self._class_index.class_distances(point)
@@ -231,6 +247,24 @@ class MeyersonOFLAlgorithm(OnlineAlgorithm):
             instance.metric, costs, use_accel=self._use_accel
         )
         self._facility_of_slot = {}
+
+    def state_dict(self) -> Dict[str, Any]:
+        if self._helper is None:
+            raise AlgorithmError("prepare() was not called before state_dict()")
+        return {
+            "helper": self._helper.state_dict(),
+            "facility_of_slot": [
+                [slot, fid] for slot, fid in self._facility_of_slot.items()
+            ],
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        if self._helper is None:
+            raise AlgorithmError("prepare() was not called before load_state_dict()")
+        self._helper.load_state_dict(state["helper"])
+        self._facility_of_slot = {
+            int(slot): int(fid) for slot, fid in state["facility_of_slot"]
+        }
 
     def process(self, request: Request, state: OnlineState, rng) -> None:
         if self._helper is None:

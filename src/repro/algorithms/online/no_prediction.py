@@ -33,6 +33,10 @@ class NoPredictionGreedy(OnlineAlgorithm):
     def __init__(self) -> None:
         self.name = "no-prediction-greedy"
 
+    # Snapshot hooks: the greedy keeps no state between requests (every
+    # decision reads the shared OnlineState only), so the inherited
+    # state_dict() -> {} / load_state_dict({}) defaults are exact.
+
     def process(self, request: Request, state: OnlineState, rng) -> None:
         cost_function = state.instance.cost_function
         assignment = Assignment(request_index=request.index)

@@ -39,7 +39,7 @@ large facility and are always served by small facilities.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,7 +51,8 @@ from repro.core.requests import Request
 from repro.core.state import OnlineState
 from repro.core.trace import DualFreezeEvent
 from repro.dual.variables import DualVariableStore
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, SnapshotError
+from repro.utils.encoding import decode_float, encode_float
 from repro.utils.maths import positive_part
 
 __all__ = ["PDOMFLPAlgorithm"]
@@ -122,6 +123,79 @@ class PDOMFLPAlgorithm(OnlineAlgorithm):
 
     def duals(self) -> Optional[DualVariableStore]:
         return self._duals
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Duals plus the bid-history state of the active hot path.
+
+        The accel path serializes its :class:`BidHistoryBuffer` contents, the
+        reference path its request history and nearest-distance caches; the
+        static per-point cost vectors and distance-row caches are rebuilt by
+        ``prepare`` / lazily.  Nearest distances may be ``inf`` and are
+        string-encoded for strict JSON.
+        """
+        if self._duals is None:
+            raise AlgorithmError("prepare() was not called before state_dict()")
+        data: Dict[str, Any] = {"duals": self._duals.to_dict()}
+        if self._use_accel:
+            data["small_buffers"] = [
+                [commodity, buffer.state_dict()]
+                for commodity, buffer in self._small_buffers.items()
+            ]
+            data["large_buffer"] = self._large_buffer.state_dict()
+        else:
+            data["history"] = [
+                [r.index, r.point, sorted(r.commodities)] for r in self._history
+            ]
+            data["nearest_small"] = [
+                [request_index, commodity, encode_float(distance)]
+                for (request_index, commodity), distance in self._nearest_small.items()
+            ]
+            data["nearest_large"] = [
+                [request_index, encode_float(distance)]
+                for request_index, distance in self._nearest_large.items()
+            ]
+        return data
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        if self._duals is None:
+            raise AlgorithmError("prepare() was not called before load_state_dict()")
+        if len(self._duals) or self._history or self._small_buffers:
+            raise SnapshotError(
+                "PDOMFLPAlgorithm.load_state_dict requires a freshly prepared run"
+            )
+        if self._use_accel != ("small_buffers" in state):
+            raise SnapshotError(
+                "snapshot was taken on the "
+                f"{'reference' if self._use_accel else 'accelerated'} hot path; "
+                f"construct the algorithm with use_accel={not self._use_accel} to restore it"
+            )
+        self._duals = DualVariableStore.from_dict(state["duals"])
+        if self._use_accel:
+            for commodity, buffer_state in state["small_buffers"]:
+                buffer = BidHistoryBuffer(self._instance.metric)
+                buffer.load_state_dict(buffer_state)
+                self._small_buffers[int(commodity)] = buffer
+            self._large_buffer.load_state_dict(state["large_buffer"])
+        else:
+            self._history = [
+                Request(
+                    index=int(index),
+                    point=int(point),
+                    commodities=frozenset(int(e) for e in commodities),
+                )
+                for index, point, commodities in state["history"]
+            ]
+            self._nearest_small = {
+                (int(request_index), int(commodity)): decode_float(distance)
+                for request_index, commodity, distance in state["nearest_small"]
+            }
+            self._nearest_large = {
+                int(request_index): decode_float(distance)
+                for request_index, distance in state["nearest_large"]
+            }
 
     # ------------------------------------------------------------------
     # Cached quantities

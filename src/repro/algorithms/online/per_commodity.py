@@ -16,7 +16,7 @@ facilities (e.g. the Theorem-2 adversary), this baseline loses a factor of
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.algorithms.base import OnlineAlgorithm
 from repro.algorithms.online.fotakis_ofl import SingleCommodityPrimalDual
@@ -25,7 +25,7 @@ from repro.core.assignment import Assignment
 from repro.core.instance import Instance
 from repro.core.requests import Request
 from repro.core.state import OnlineState
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, SnapshotError
 
 __all__ = ["PerCommodityAlgorithm"]
 
@@ -76,6 +76,38 @@ class PerCommodityAlgorithm(OnlineAlgorithm):
                 )
             self._helpers[commodity] = helper
         return helper
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Per-commodity helper snapshots (in creation order) plus slot map."""
+        if self._instance is None:
+            raise AlgorithmError("prepare() was not called before state_dict()")
+        return {
+            "helpers": [
+                [commodity, helper.state_dict()]
+                for commodity, helper in self._helpers.items()
+            ],
+            "facility_of_slot": [
+                [commodity, slot, fid]
+                for (commodity, slot), fid in self._facility_of_slot.items()
+            ],
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        if self._instance is None:
+            raise AlgorithmError("prepare() was not called before load_state_dict()")
+        if self._helpers:
+            raise SnapshotError(
+                "PerCommodityAlgorithm.load_state_dict requires a freshly prepared run"
+            )
+        for commodity, helper_state in state["helpers"]:
+            self._helper_for(int(commodity)).load_state_dict(helper_state)
+        self._facility_of_slot = {
+            (int(commodity), int(slot)): int(fid)
+            for commodity, slot, fid in state["facility_of_slot"]
+        }
 
     def process(self, request: Request, state: OnlineState, rng) -> None:
         if self._instance is None:

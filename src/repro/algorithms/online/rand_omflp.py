@@ -91,6 +91,30 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
             else None
         )
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """RAND-OMFLP carries no per-run decision state of its own.
+
+        Every attribute built after ``prepare`` (`_small_classes`,
+        `_small_accel` and their memo caches) is a pure function of the static
+        instance; the run's decisions live entirely in the shared
+        :class:`OnlineState` and the RNG stream, both captured by the session
+        snapshot.  The snapshot is therefore empty.
+        """
+        if self._instance is None:
+            raise AlgorithmError("prepare() was not called before state_dict()")
+        return {}
+
+    def load_state_dict(self, state) -> None:
+        if self._instance is None:
+            raise AlgorithmError("prepare() was not called before load_state_dict()")
+        if state:
+            raise AlgorithmError(
+                f"rand-omflp snapshots are empty, got keys {sorted(state)}"
+            )
+
     def _classes_for(self, commodity: int) -> CostClassIndex:
         index = self._small_classes.get(commodity)
         if index is None:

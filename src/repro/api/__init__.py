@@ -13,7 +13,10 @@ library:
 * **Streaming sessions** (:mod:`repro.api.session`) — :class:`OnlineSession`
   feeds requests to an online algorithm one at a time (unknown-length
   streams, the paper's true online model) with O(1) incremental cost
-  accounting per request.
+  accounting per request.  Sessions are durable: ``snapshot()`` captures a
+  restorable JSON codec form and ``OnlineSession.restore`` continues the
+  stream bit-identically; :mod:`repro.service` hosts many named sessions
+  behind the ``repro serve`` wire protocol.
 
 Quickstart
 ----------

@@ -43,6 +43,10 @@ class RunRecord:
     seed:
         The seed the run was started with, when known (``None`` for
         externally supplied generators).
+    rng_state:
+        The serialized bit-generator state at run start, when known —
+        provenance for runs started from a live generator rather than an int
+        seed (see :func:`repro.utils.rng.rng_state`).
     is_optimal, lower_bound:
         Offline-only optimality information.
     spec:
@@ -67,6 +71,7 @@ class RunRecord:
     is_optimal: bool = False
     lower_bound: Optional[float] = None
     spec: Optional[Dict[str, Any]] = None
+    rng_state: Optional[Dict[str, Any]] = field(default=None, repr=False)
     source: Optional[Union[OnlineResult, OfflineResult]] = field(
         default=None, repr=False, compare=False
     )
@@ -82,6 +87,7 @@ class RunRecord:
         num_requests: Optional[int] = None,
         seed: Optional[int] = None,
         spec: Optional[Dict[str, Any]] = None,
+        rng_state: Optional[Dict[str, Any]] = None,
     ) -> "RunRecord":
         solution = result.solution
         return cls(
@@ -99,6 +105,7 @@ class RunRecord:
             runtime_seconds=result.runtime_seconds,
             seed=seed,
             spec=spec,
+            rng_state=rng_state,
             source=result,
         )
 
@@ -171,10 +178,12 @@ class RunRecord:
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible dictionary (row fields plus the originating spec)."""
+        """JSON-compatible dictionary (row fields plus spec/rng provenance)."""
         data = self.to_row()
         if self.spec is not None:
             data["spec"] = self.spec
+        if self.rng_state is not None:
+            data["rng_state"] = self.rng_state
         return data
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

@@ -28,12 +28,25 @@ full list of registered names.
 
 from __future__ import annotations
 
+import difflib
 import inspect
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.exceptions import ReproError, UnknownComponentError
 
-__all__ = ["Registry"]
+__all__ = ["Registry", "did_you_mean"]
+
+
+def did_you_mean(name: str, candidates: List[str]) -> str:
+    """``"; did you mean ...?"`` for close matches of ``name``, else ``""``.
+
+    Shared by registry lookups and :meth:`repro.api.spec.RunSpec.mode` so the
+    suggestion tuning and phrasing live in one place.
+    """
+    matches = difflib.get_close_matches(str(name), candidates, n=3, cutoff=0.6)
+    if not matches:
+        return ""
+    return f"; did you mean {' or '.join(repr(m) for m in matches)}?"
 
 
 class Registry:
@@ -75,12 +88,18 @@ class Registry:
     # Lookup
     # ------------------------------------------------------------------
     def get(self, name: str) -> Callable[..., Any]:
-        """The builder registered under ``name``."""
+        """The builder registered under ``name``.
+
+        Unknown names raise :class:`UnknownComponentError`; when the name is
+        a near miss of a registered one (typo'd config file), the message
+        leads with a did-you-mean suggestion.
+        """
         try:
             return self._builders[name]
         except KeyError:
             raise UnknownComponentError(
-                f"unknown {self.kind} {name!r}; registered: {', '.join(self.names()) or '(none)'}"
+                f"unknown {self.kind} {name!r}{did_you_mean(name, self.names())}; "
+                f"registered: {', '.join(self.names()) or '(none)'}"
             ) from None
 
     def build(self, name: str, **params: Any) -> Any:

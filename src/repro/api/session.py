@@ -31,9 +31,10 @@ True
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -45,9 +46,9 @@ from repro.core.requests import Request, RequestSequence
 from repro.core.state import OnlineState
 from repro.core.trace import Trace
 from repro.costs.base import FacilityCostFunction
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, SnapshotError
 from repro.metric.base import MetricSpace
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, ensure_rng, rng_from_state, rng_state
 
 __all__ = ["AssignmentEvent", "OnlineSession"]
 
@@ -92,6 +93,40 @@ class AssignmentEvent:
         """Session total cost after this request."""
         return self.opening_cost_so_far + self.connection_cost_so_far
 
+    # ------------------------------------------------------------------
+    # Wire protocol
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON-compatible form (frozensets become sorted lists).
+
+        This is the event shape the :mod:`repro.service` wire protocol puts on
+        the wire; :meth:`from_dict` is the exact inverse.
+        """
+        return {
+            "request_index": self.request_index,
+            "point": self.point,
+            "commodities": sorted(self.commodities),
+            "facility_ids": list(self.facility_ids),
+            "opening_cost_delta": self.opening_cost_delta,
+            "connection_cost": self.connection_cost,
+            "opening_cost_so_far": self.opening_cost_so_far,
+            "connection_cost_so_far": self.connection_cost_so_far,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AssignmentEvent":
+        """Rebuild an event from its :meth:`to_dict` form."""
+        return cls(
+            request_index=int(data["request_index"]),
+            point=int(data["point"]),
+            commodities=frozenset(int(e) for e in data["commodities"]),
+            facility_ids=tuple(int(f) for f in data["facility_ids"]),
+            opening_cost_delta=float(data["opening_cost_delta"]),
+            connection_cost=float(data["connection_cost"]),
+            opening_cost_so_far=float(data["opening_cost_so_far"]),
+            connection_cost_so_far=float(data["connection_cost_so_far"]),
+        )
+
 
 class OnlineSession:
     """An online algorithm run fed one request at a time.
@@ -108,8 +143,11 @@ class OnlineSession:
         Optional commodity universe with names (defaults to the cost
         function's ``|S|`` anonymous commodities).
     rng:
-        Seed or generator for randomized algorithms; an ``int`` seed is
-        recorded on the final :class:`RunRecord`.
+        Seed or generator for randomized algorithms.  An ``int`` seed is
+        recorded on the final :class:`RunRecord`; the exact serialized
+        bit-generator state at session start is recorded as well
+        (``RunRecord.rng_state``), so provenance survives even when a live
+        generator is passed.
     trace:
         Record structured trace events.
     validate:
@@ -147,6 +185,12 @@ class OnlineSession:
         self._algorithm = algorithm
         self._seed = int(rng) if isinstance(rng, (int, np.integer)) else None
         self._rng = ensure_rng(rng)
+        # Full provenance even for non-int rng inputs (an externally supplied
+        # generator has no seed): the exact bit-generator state at session
+        # start is recorded on the final RunRecord alongside the optional
+        # seed, and anchors snapshot/restore.
+        self._initial_rng_state = rng_state(self._rng)
+        self._use_accel = bool(use_accel)
         self._validate = validate
         if instance is None:
             instance = Instance(
@@ -247,6 +291,133 @@ class OnlineSession:
         return [self.submit(point, commodities) for point, commodities in items]
 
     # ------------------------------------------------------------------
+    # Durability (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot(self, *, spec: Optional[Dict[str, Any]] = None) -> "SessionSnapshot":
+        """Capture a restorable, JSON-serializable snapshot of the session.
+
+        The snapshot records the algorithm's ``state_dict``, the full online
+        state (facilities, assignments, trace), the request log and the exact
+        bit-generator state, so that :meth:`restore` continues the stream
+        **bit-identically** to an uninterrupted run — accel caches are not
+        stored but deterministically rebuilt on restore.
+
+        ``spec`` optionally embeds the declarative :class:`~repro.api.spec.RunSpec`
+        dict the session was created from, making the snapshot self-contained
+        (restorable without re-supplying components); the
+        :class:`~repro.service.SessionManager` always embeds it.
+        """
+        from repro.service.snapshot import SessionSnapshot
+
+        if self._record is not None:
+            raise SnapshotError("cannot snapshot a finalized session")
+        return SessionSnapshot(
+            algorithm=self._algorithm.name,
+            algorithm_state=self._algorithm.state_dict(),
+            state=self._state.state_dict(),
+            seed=self._seed,
+            initial_rng_state=copy.deepcopy(self._initial_rng_state),
+            rng_state=rng_state(self._rng),
+            use_accel=self._use_accel,
+            validate=self._validate,
+            instance_name=self._instance.name,
+            runtime_seconds=self._runtime,
+            num_requests=len(self._requests),
+            spec=copy.deepcopy(spec) if spec is not None else None,
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Union["SessionSnapshot", Mapping[str, Any], str],
+        *,
+        algorithm: Optional[OnlineAlgorithm] = None,
+        metric: Optional[MetricSpace] = None,
+        cost: Optional[FacilityCostFunction] = None,
+        commodities: Optional[CommodityUniverse] = None,
+        instance: Optional[Instance] = None,
+    ) -> "OnlineSession":
+        """Rebuild a session from a :meth:`snapshot` (accepts dict/JSON forms).
+
+        Two ways to supply the fixed problem environment:
+
+        * pass nothing extra — the snapshot must carry an embedded declarative
+          ``spec``, from which algorithm and instance are rebuilt (the
+          :class:`~repro.service.SessionManager` path);
+        * pass a freshly built ``algorithm`` plus ``metric`` and ``cost`` (or a
+          whole ``instance``) equivalent to the originals — the "fresh
+          process" path when the session was constructed from live objects.
+
+        The restored session then continues the stream bit-identically: same
+        costs, same facility openings, same coin flips.
+        """
+        from repro.service.snapshot import SessionSnapshot, components_from_spec
+
+        snapshot = SessionSnapshot.coerce(snapshot)
+        if algorithm is not None:
+            if instance is not None:
+                metric = instance.metric
+                cost = instance.cost_function
+                commodities = commodities or instance.commodities
+            if metric is None or cost is None:
+                raise SnapshotError(
+                    "restore() needs metric and cost (or a whole instance) "
+                    "alongside the algorithm"
+                )
+        else:
+            if metric is not None or cost is not None or instance is not None:
+                raise SnapshotError(
+                    "restore() needs the algorithm alongside metric/cost/instance"
+                )
+            if snapshot.spec is None:
+                raise SnapshotError(
+                    "snapshot has no embedded spec; pass algorithm, metric and "
+                    "cost (or instance) explicitly"
+                )
+            algorithm, built, _ = components_from_spec(snapshot.spec)
+            metric = built.metric
+            cost = built.cost_function
+            commodities = built.commodities
+        if algorithm.name != snapshot.algorithm:
+            raise SnapshotError(
+                f"snapshot was taken from algorithm {snapshot.algorithm!r} but "
+                f"restore() received {algorithm.name!r}; rebuild the algorithm "
+                "with the original configuration"
+            )
+        session = cls(
+            algorithm,
+            metric,
+            cost,
+            commodities=commodities,
+            rng=None,
+            trace=snapshot.trace_enabled,
+            validate=snapshot.validate,
+            use_accel=snapshot.use_accel,
+            name=snapshot.instance_name,
+            instance=instance,
+        )
+        session._state.load_state_dict(snapshot.state)
+        session._algorithm.load_state_dict(snapshot.algorithm_state)
+        session._requests = [
+            Request(
+                index=index,
+                point=int(point),
+                commodities=frozenset(int(e) for e in commodity_list),
+            )
+            for index, (point, commodity_list) in enumerate(snapshot.state["requests"])
+        ]
+        if len(session._requests) != snapshot.num_requests:
+            raise SnapshotError(
+                f"snapshot claims {snapshot.num_requests} requests but carries "
+                f"{len(session._requests)}"
+            )
+        session._rng = rng_from_state(snapshot.rng_state)
+        session._seed = snapshot.seed
+        session._initial_rng_state = copy.deepcopy(snapshot.initial_rng_state)
+        session._runtime = float(snapshot.runtime_seconds)
+        return session
+
+    # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
     def finalize(self) -> RunRecord:
@@ -275,7 +446,10 @@ class OnlineSession:
             duals=self._algorithm.duals(),
         )
         self._record = RunRecord.from_online_result(
-            result, num_requests=len(requests), seed=self._seed
+            result,
+            num_requests=len(requests),
+            seed=self._seed,
+            rng_state=copy.deepcopy(self._initial_rng_state),
         )
         return self._record
 

@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import OfflineSolver, OnlineAlgorithm
 from repro.api.components import ALGORITHMS, COSTS, METRICS, SOLVERS, WORKLOADS
-from repro.api.registry import Registry
+from repro.api.registry import Registry, did_you_mean
 from repro.core.instance import Instance
 from repro.core.requests import RequestSequence
 from repro.costs.base import FacilityCostFunction
@@ -228,8 +228,9 @@ class RunSpec:
                 return "online"
             if kind in SOLVERS:
                 return "offline"
+            hint = did_you_mean(str(kind), ALGORITHMS.names() + SOLVERS.names())
             raise UnknownComponentError(
-                f"unknown algorithm {kind!r}; online algorithms: "
+                f"unknown algorithm {kind!r}{hint}; online algorithms: "
                 f"{', '.join(ALGORITHMS.names())}; offline solvers: "
                 f"{', '.join(SOLVERS.names())}"
             )

@@ -10,14 +10,14 @@ notation refers to: ``F(e)`` (facilities offering commodity ``e``) and ``F̂``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.accel.tracker import NearestSetTracker
 from repro.core.requests import Request
 from repro.costs.base import FacilityCostFunction
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import InvalidInstanceError, SnapshotError
 from repro.metric.base import MetricSpace
 
 __all__ = ["Facility", "FacilityStore"]
@@ -130,6 +130,32 @@ class FacilityStore:
                     self._large_tracker = NearestSetTracker(self._metric)
                 self._large_tracker.add(facility.point, tag=facility.id)
         return facility
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot: ``(point, configuration)`` in opening order.
+
+        Opening costs and ids are *not* stored — they are deterministic
+        functions of the (static) cost function and the opening order, so
+        :meth:`load_state_dict` re-derives them bit-identically by replaying
+        :meth:`open`, which also rebuilds the accel trackers with the same
+        fold sequence as the original run.
+        """
+        return {
+            "facilities": [[f.point, sorted(f.configuration)] for f in self._facilities]
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Rebuild the store by replaying ``open`` (requires a fresh store)."""
+        if self._facilities:
+            raise SnapshotError(
+                "FacilityStore.load_state_dict requires an empty store; "
+                f"this one already holds {len(self._facilities)} facilities"
+            )
+        for point, configuration in state["facilities"]:
+            self.open(int(point), (int(e) for e in configuration))
 
     # ------------------------------------------------------------------
     # Views

@@ -13,7 +13,7 @@ algorithm), which is essential for fair competitive-ratio comparisons.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.assignment import Assignment
 from repro.core.facility import Facility, FacilityStore
@@ -21,7 +21,7 @@ from repro.core.instance import Instance
 from repro.core.requests import Request
 from repro.core.solution import Solution
 from repro.core.trace import FacilityOpenedEvent, RequestAssignedEvent, Trace
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, SnapshotError
 
 __all__ = ["OnlineState"]
 
@@ -156,6 +156,70 @@ class OnlineState:
 
     def current_total_cost(self) -> float:
         return self.current_opening_cost() + self.current_connection_cost()
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot of facilities, assignments and trace.
+
+        Assignment entries are stored in their original dict insertion order
+        (the order the algorithm called ``assign``), which
+        :meth:`load_state_dict` preserves so that rebuilt frozensets iterate
+        — and hence connection-cost sums accumulate — in exactly the original
+        float order.
+        """
+        return {
+            "store": self._store.state_dict(),
+            "requests": [
+                [r.point, sorted(r.commodities)] for r in self._processed_requests
+            ],
+            "assignments": [
+                [
+                    [int(e), int(fid)]
+                    for e, fid in self._assignments[
+                        r.index
+                    ].facility_of_commodity.items()
+                ]
+                for r in self._processed_requests
+            ],
+            "trace": self._trace.state_dict(),
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Deterministically rebuild the state by replaying its mutation log.
+
+        Facilities are re-opened in id order (recharging identical opening
+        costs and refolding the accel trackers in the original sequence) and
+        assignments are re-recorded in arrival order (re-accumulating the
+        identical connection-cost sum).  Requires a fresh state; the trace is
+        restored verbatim from the snapshot rather than re-recorded.
+        """
+        if self._processed_requests or len(self._store):
+            raise SnapshotError(
+                "OnlineState.load_state_dict requires a fresh state; this one "
+                f"already processed {len(self._processed_requests)} requests"
+            )
+        self._store.load_state_dict(state["store"])
+        enabled = self._trace.enabled
+        self._trace.enabled = False
+        try:
+            for index, ((point, commodities), items) in enumerate(
+                zip(state["requests"], state["assignments"])
+            ):
+                request = Request(
+                    index=index,
+                    point=int(point),
+                    commodities=frozenset(int(e) for e in commodities),
+                )
+                self._instance.validate_request(request)
+                assignment = Assignment(request_index=index)
+                for commodity, facility_id in items:
+                    assignment.assign(int(commodity), int(facility_id))
+                self.record_assignment(request, assignment)
+        finally:
+            self._trace.enabled = enabled
+        self._trace.load_state_dict(state["trace"])
 
     # ------------------------------------------------------------------
     def to_solution(self) -> Solution:

@@ -9,8 +9,11 @@ corresponding experiments print as transcripts.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.exceptions import SnapshotError
 
 __all__ = [
     "TraceEvent",
@@ -19,6 +22,7 @@ __all__ = [
     "DualFreezeEvent",
     "CoinFlipEvent",
     "Trace",
+    "event_from_dict",
 ]
 
 
@@ -30,6 +34,23 @@ class TraceEvent:
 
     def describe(self) -> str:
         return f"[request {self.request_index}] event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form: field values plus the event type name.
+
+        Frozensets and tuples become sorted lists / lists so the result
+        round-trips through strict JSON; :func:`event_from_dict` is the
+        inverse.
+        """
+        data: Dict[str, Any] = {"type": type(self).__name__}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, frozenset):
+                value = sorted(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            data[spec.name] = value
+        return data
 
 
 @dataclass(frozen=True)
@@ -101,6 +122,38 @@ class CoinFlipEvent(TraceEvent):
         )
 
 
+#: Concrete event types by class name, for :func:`event_from_dict`.
+_EVENT_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        TraceEvent,
+        FacilityOpenedEvent,
+        RequestAssignedEvent,
+        DualFreezeEvent,
+        CoinFlipEvent,
+    )
+}
+
+
+def event_from_dict(data: Mapping[str, Any]) -> TraceEvent:
+    """Rebuild a trace event from its :meth:`TraceEvent.to_dict` form."""
+    kind = data.get("type")
+    cls = _EVENT_TYPES.get(str(kind))
+    if cls is None:
+        raise SnapshotError(
+            f"unknown trace event type {kind!r}; known: {', '.join(sorted(_EVENT_TYPES))}"
+        )
+    fields = {str(key): value for key, value in data.items() if key != "type"}
+    if cls is FacilityOpenedEvent:
+        fields["configuration"] = frozenset(int(e) for e in fields.get("configuration", ()))
+    if cls is RequestAssignedEvent:
+        fields["facility_ids"] = tuple(int(f) for f in fields.get("facility_ids", ()))
+    try:
+        return cls(**fields)
+    except TypeError as error:
+        raise SnapshotError(f"malformed {kind} trace event: {error}") from None
+
+
 class Trace:
     """An append-only list of trace events with pretty-printing helpers."""
 
@@ -111,6 +164,21 @@ class Trace:
     def record(self, event: TraceEvent) -> None:
         if self.enabled:
             self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot of the trace (flag plus events)."""
+        return {
+            "enabled": self.enabled,
+            "events": [event.to_dict() for event in self._events],
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Replace the trace contents with a snapshot's events."""
+        self.enabled = bool(state["enabled"])
+        self._events = [event_from_dict(entry) for entry in state["events"]]
 
     @property
     def events(self) -> List[TraceEvent]:

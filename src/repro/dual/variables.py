@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -61,6 +61,31 @@ class DualVariableStore:
 
     def items(self) -> List[Tuple[Tuple[int, int], float]]:
         return sorted(self._values.items())
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form; entries keep their freeze (insertion) order.
+
+        Preserving the order keeps :meth:`total` — a Python sum over the dict
+        values — bit-identical after a round-trip.
+        """
+        return {
+            "num_commodities": self._num_commodities,
+            "values": [
+                [request_index, commodity, value]
+                for (request_index, commodity), value in self._values.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DualVariableStore":
+        """Inverse of :meth:`to_dict` (re-freezes entries in stored order)."""
+        store = cls(int(data["num_commodities"]))
+        for request_index, commodity, value in data["values"]:
+            store.set(int(request_index), int(commodity), float(value))
+        return store
 
     def as_dense_matrix(self, num_requests: int) -> np.ndarray:
         """Dense ``(num_requests, |S|)`` matrix of duals (zeros where unset).

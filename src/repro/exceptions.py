@@ -16,6 +16,8 @@ __all__ = [
     "AlgorithmError",
     "ExperimentError",
     "UnknownComponentError",
+    "SnapshotError",
+    "ServiceError",
 ]
 
 
@@ -51,5 +53,20 @@ class UnknownComponentError(ReproError):
     """A string key did not resolve against a component registry.
 
     Raised by :mod:`repro.api.registry` lookups; the message always lists the
-    registered names so that a typo in a config file is immediately fixable.
+    registered names (plus a did-you-mean suggestion for near misses) so that
+    a typo in a config file is immediately fixable.
     """
+
+
+class SnapshotError(ReproError):
+    """A session snapshot could not be captured, decoded or restored.
+
+    Raised by the durable-session codec (:mod:`repro.service.snapshot`) and by
+    the ``state_dict`` / ``load_state_dict`` hooks when a snapshot is applied
+    to a component in the wrong state (not freshly prepared, wrong accel mode,
+    unknown format version, ...).
+    """
+
+
+class ServiceError(ReproError):
+    """A session-manager operation failed (unknown session, bad name, ...)."""

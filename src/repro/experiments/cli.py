@@ -18,6 +18,19 @@ Run a declarative :class:`~repro.api.spec.RunSpec` from a JSON file (or
 several — each produces one row) without writing any Python::
 
     repro spec scenario.json --seed 3 --csv rows.csv
+
+Host durable named sessions over the JSON line protocol (one request and one
+response per line, see :mod:`repro.service.protocol`); with a snapshot
+directory, idle or shut-down sessions persist to disk and resume
+bit-identically::
+
+    printf '%s\n' \
+      '{"op": "create", "name": "east", "spec": {"algorithm": "pd-omflp",
+        "metric": {"kind": "uniform-line", "num_points": 8},
+        "cost": {"kind": "power", "num_commodities": 4, "exponent_x": 1.0},
+        "requests": [], "seed": 0}}' \
+      '{"op": "submit", "name": "east", "point": 1, "commodities": [0, 2]}' \
+      '{"op": "shutdown"}' | repro serve --snapshot-dir state/
 """
 
 from __future__ import annotations
@@ -70,6 +83,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     spec_parser.add_argument(
         "--csv", type=Path, default=None, help="also write the result rows to a CSV file"
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="host durable named sessions over the stdin/stdout JSON line protocol",
+    )
+    serve_parser.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        help="directory for evicted-session snapshots (enables durable sessions)",
+    )
+    serve_parser.add_argument(
+        "--max-live-sessions",
+        type=int,
+        default=None,
+        help="LRU-evict sessions beyond this count to the snapshot dir",
+    )
+    serve_parser.add_argument(
+        "--no-accel",
+        action="store_true",
+        help="run new sessions on the reference (non-accelerated) hot path",
     )
 
     return parser
@@ -139,6 +174,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "spec":
         _run_specs(args)
+        return 0
+    if args.command == "serve":
+        # Imported lazily so plain experiment commands do not pay for it.
+        from repro.service import SessionManager, serve
+
+        manager = SessionManager(
+            snapshot_dir=args.snapshot_dir,
+            max_live_sessions=args.max_live_sessions,
+            default_use_accel=not args.no_accel,
+        )
+        serve(manager, sys.stdin, sys.stdout)
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

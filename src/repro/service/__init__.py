@@ -1,0 +1,50 @@
+"""Durable sessions and the multi-session service layer.
+
+This subpackage turns the streaming :class:`~repro.api.session.OnlineSession`
+into a long-lived service primitive — the shape the paper's online model
+(Section 1.1: a request stream of unknown length with irrevocable decisions)
+naturally takes in production:
+
+* **Snapshots** (:mod:`repro.service.snapshot`) — a versioned, strict-JSON
+  :class:`SessionSnapshot` codec capturing the algorithm's ``state_dict``,
+  the full online state, the request log and the exact RNG bit-generator
+  state.  A restored session continues its stream *bit-identically* to an
+  uninterrupted run; the accel caches are deterministically rebuilt, never
+  serialized.
+* **Session management** (:mod:`repro.service.manager`) —
+  :class:`SessionManager` hosts many named concurrent sessions created from
+  declarative :class:`~repro.api.spec.RunSpec` dicts, routes ``submit`` calls
+  to them, and snapshots/evicts idle ones to disk (transparently reloading on
+  the next submit).
+* **Wire protocol** (:mod:`repro.service.protocol`) — a JSON line
+  command/response protocol over a manager, surfaced as the ``repro serve``
+  CLI subcommand.
+
+Quickstart
+----------
+>>> from repro.service import SessionManager
+>>> manager = SessionManager()
+>>> manager.create("east", {
+...     "algorithm": "pd-omflp",
+...     "metric": {"kind": "uniform-line", "num_points": 8},
+...     "cost": {"kind": "power", "num_commodities": 4, "exponent_x": 1.0},
+...     "requests": [],
+...     "seed": 0,
+... })["name"]
+'east'
+>>> event = manager.submit("east", 1, [0, 2])
+>>> event.request_index
+0
+"""
+
+from repro.service.manager import SessionManager
+from repro.service.protocol import ServiceProtocol, serve
+from repro.service.snapshot import SessionSnapshot, components_from_spec
+
+__all__ = [
+    "SessionSnapshot",
+    "SessionManager",
+    "ServiceProtocol",
+    "serve",
+    "components_from_spec",
+]

@@ -1,0 +1,320 @@
+"""Hosting many named streaming sessions behind one endpoint.
+
+:class:`SessionManager` is the in-process service core the ``repro serve``
+wire protocol (:mod:`repro.service.protocol`) speaks to: it creates named
+sessions from declarative :class:`~repro.api.spec.RunSpec` dicts, routes
+``submit`` calls to them, and — when given a ``snapshot_dir`` — snapshots
+idle sessions to disk and transparently reloads them on their next submit.
+Because eviction goes through the bit-identical snapshot codec
+(:mod:`repro.service.snapshot`), a session that bounced through disk any
+number of times produces exactly the stream an always-resident one would.
+
+Sessions are independent by construction — each owns its algorithm instance,
+online state and RNG stream — so interleaved submits to different names never
+interact (pinned by ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.api.record import RunRecord
+from repro.api.session import AssignmentEvent, OnlineSession
+from repro.api.spec import RunSpec
+from repro.exceptions import ServiceError
+from repro.service.snapshot import SessionSnapshot, components_from_spec
+
+__all__ = ["SessionManager"]
+
+#: Session names double as snapshot file stems, so keep them filesystem-safe.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass
+class _ManagedSession:
+    """One live session plus the declarative spec it was created from."""
+
+    name: str
+    spec: Dict[str, Any]
+    session: OnlineSession
+
+
+class SessionManager:
+    """Create, route to, evict and resume named streaming sessions.
+
+    Parameters
+    ----------
+    snapshot_dir:
+        Directory for evicted-session snapshots (created on first use).
+        Without it sessions are memory-only and eviction raises.
+    max_live_sessions:
+        Soft capacity: when more sessions than this are resident, the least
+        recently used ones are snapshotted to disk (requires
+        ``snapshot_dir``).  ``None`` keeps everything resident.
+    default_use_accel:
+        Default accel mode for new sessions (overridable per ``create``).
+    """
+
+    def __init__(
+        self,
+        *,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        max_live_sessions: Optional[int] = None,
+        default_use_accel: bool = True,
+    ) -> None:
+        if max_live_sessions is not None and max_live_sessions < 1:
+            raise ServiceError(
+                f"max_live_sessions must be positive, got {max_live_sessions}"
+            )
+        if max_live_sessions is not None and snapshot_dir is None:
+            raise ServiceError("max_live_sessions needs a snapshot_dir to evict into")
+        self._snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
+        self._max_live = max_live_sessions
+        self._default_use_accel = bool(default_use_accel)
+        #: Live sessions in least-recently-used-first order.
+        self._live: "OrderedDict[str, _ManagedSession]" = OrderedDict()
+        self._finalized: Dict[str, RunRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Name / path helpers
+    # ------------------------------------------------------------------
+    def _check_name(self, name: str) -> str:
+        if not isinstance(name, str) or not _NAME_PATTERN.match(name or ""):
+            raise ServiceError(
+                f"invalid session name {name!r}; use letters, digits, '.', '_' "
+                "or '-' (names double as snapshot file stems)"
+            )
+        return name
+
+    def _snapshot_path(self, name: str) -> Optional[Path]:
+        # Every operation that may touch the filesystem funnels through here,
+        # so validating the name at this chokepoint (not just in create())
+        # keeps wire clients from smuggling path traversal into submit /
+        # status / evict / close.
+        self._check_name(name)
+        if self._snapshot_dir is None:
+            return None
+        return self._snapshot_dir / f"{name}.session.json"
+
+    def _on_disk(self, name: str) -> bool:
+        path = self._snapshot_path(name)
+        return path is not None and path.exists()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        spec: Mapping[str, Any],
+        *,
+        use_accel: Optional[bool] = None,
+        trace: bool = False,
+        validate: bool = True,
+    ) -> Dict[str, Any]:
+        """Create a named session from a declarative RunSpec dict.
+
+        The spec supplies the fixed problem environment (metric, cost,
+        commodities — directly or via a workload) and the seed; any requests
+        it carries are *not* pre-submitted, the stream arrives through
+        :meth:`submit`.  A ``seed`` is required so that evicted sessions can
+        rebuild their environment bit-identically from the spec alone.
+        """
+        self._check_name(name)
+        if name in self._live or name in self._finalized or self._on_disk(name):
+            raise ServiceError(f"session {name!r} already exists")
+        run_spec = RunSpec.from_dict(dict(spec))
+        if not run_spec.is_declarative():
+            raise ServiceError(
+                "session specs must be declarative (plain data) so evicted "
+                "sessions can be rebuilt from disk"
+            )
+        if run_spec.seed is None:
+            raise ServiceError(
+                "session specs need an explicit 'seed' so a snapshotted "
+                "session can rebuild its environment deterministically"
+            )
+        spec_dict = run_spec.to_dict()
+        algorithm, instance, generator = components_from_spec(spec_dict)
+        session = OnlineSession(
+            algorithm,
+            instance.metric,
+            instance.cost_function,
+            commodities=instance.commodities,
+            rng=generator,
+            trace=trace,
+            validate=validate,
+            use_accel=(
+                self._default_use_accel if use_accel is None else bool(use_accel)
+            ),
+            name=run_spec.name or name,
+        )
+        # Seed provenance: the generator object was threaded through workload
+        # generation, so record the spec seed explicitly on the session.
+        session._seed = run_spec.seed
+        self._live[name] = _ManagedSession(name=name, spec=spec_dict, session=session)
+        self._enforce_capacity(keep=name)
+        return self.status(name)
+
+    def _checkout(self, name: str) -> _ManagedSession:
+        """The live session entry for ``name``, reloading from disk if evicted."""
+        entry = self._live.get(name)
+        if entry is not None:
+            self._live.move_to_end(name)
+            return entry
+        if name in self._finalized:
+            raise ServiceError(f"session {name!r} is finalized")
+        path = self._snapshot_path(name)
+        if path is not None and path.exists():
+            snapshot = SessionSnapshot.load(path)
+            if snapshot.spec is None:
+                raise ServiceError(
+                    f"snapshot for session {name!r} carries no spec; cannot reload"
+                )
+            session = OnlineSession.restore(snapshot)
+            entry = _ManagedSession(name=name, spec=dict(snapshot.spec), session=session)
+            self._live[name] = entry
+            self._enforce_capacity(keep=name)
+            return entry
+        raise ServiceError(
+            f"unknown session {name!r}; known: {', '.join(self.names()) or '(none)'}"
+        )
+
+    def _enforce_capacity(self, *, keep: Optional[str] = None) -> None:
+        if self._max_live is None:
+            return
+        while len(self._live) > self._max_live:
+            victim = next(
+                (key for key in self._live if key != keep),
+                None,
+            )
+            if victim is None:  # pragma: no cover - keep is the only session
+                return
+            self.evict(victim)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def submit(self, name: str, point: int, commodities: Iterable[int]) -> AssignmentEvent:
+        """Route one arriving request to the named session."""
+        return self._checkout(name).session.submit(point, commodities)
+
+    def snapshot(self, name: str) -> SessionSnapshot:
+        """A point-in-time snapshot of the named session (stays resident)."""
+        entry = self._checkout(name)
+        return entry.session.snapshot(spec=entry.spec)
+
+    def evict(self, name: str) -> Path:
+        """Snapshot the named session to disk and release its memory.
+
+        The next :meth:`submit` (or :meth:`snapshot`/:meth:`finalize`)
+        transparently restores it — bit-identically — from the file.
+        """
+        if self._snapshot_dir is None:
+            raise ServiceError("eviction needs a snapshot_dir")
+        entry = self._checkout(name)
+        snapshot = entry.session.snapshot(spec=entry.spec)
+        path = snapshot.save(self._snapshot_path(name))
+        del self._live[name]
+        return path
+
+    def evict_all(self) -> List[str]:
+        """Evict every live session (e.g. on service shutdown)."""
+        names = list(self._live)
+        for name in names:
+            self.evict(name)
+        return names
+
+    def finalize(self, name: str) -> RunRecord:
+        """Freeze the named session into a RunRecord and retire it."""
+        entry = self._checkout(name)
+        record = entry.session.finalize()
+        del self._live[name]
+        self._finalized[name] = record
+        path = self._snapshot_path(name)
+        if path is not None and path.exists():
+            path.unlink()
+        return record
+
+    def close(self, name: str) -> None:
+        """Drop the named session entirely (memory, disk and records)."""
+        known = False
+        if name in self._live:
+            del self._live[name]
+            known = True
+        if name in self._finalized:
+            del self._finalized[name]
+            known = True
+        path = self._snapshot_path(name)
+        if path is not None and path.exists():
+            path.unlink()
+            known = True
+        if not known:
+            raise ServiceError(f"unknown session {name!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All known session names (live, evicted-to-disk and finalized)."""
+        known = set(self._live) | set(self._finalized)
+        if self._snapshot_dir is not None and self._snapshot_dir.is_dir():
+            for path in self._snapshot_dir.glob("*.session.json"):
+                known.add(path.name[: -len(".session.json")])
+        return sorted(known)
+
+    def status(self, name: str) -> Dict[str, Any]:
+        """A JSON-compatible status row for one session (any residency)."""
+        entry = self._live.get(name)
+        if entry is not None:
+            session = entry.session
+            return {
+                "name": name,
+                "live": True,
+                "finalized": False,
+                "algorithm": session.algorithm.name,
+                "num_requests": session.num_requests,
+                "opening_cost": session.opening_cost,
+                "connection_cost": session.connection_cost,
+                "total_cost": session.total_cost,
+            }
+        if name in self._finalized:
+            record = self._finalized[name]
+            return {
+                "name": name,
+                "live": False,
+                "finalized": True,
+                "algorithm": record.algorithm,
+                "num_requests": record.num_requests,
+                "opening_cost": record.opening_cost,
+                "connection_cost": record.connection_cost,
+                "total_cost": record.total_cost,
+            }
+        path = self._snapshot_path(name)
+        if path is not None and path.exists():
+            snapshot = SessionSnapshot.load(path)
+            return {
+                "name": name,
+                "live": False,
+                "finalized": False,
+                "algorithm": snapshot.algorithm,
+                "num_requests": snapshot.num_requests,
+                "evicted": True,
+            }
+        raise ServiceError(
+            f"unknown session {name!r}; known: {', '.join(self.names()) or '(none)'}"
+        )
+
+    def __len__(self) -> int:
+        """Number of known sessions (any residency)."""
+        return len(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SessionManager(live={len(self._live)}, "
+            f"finalized={len(self._finalized)}, dir={self._snapshot_dir})"
+        )

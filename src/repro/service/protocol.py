@@ -1,0 +1,175 @@
+"""The JSON command/response wire protocol of ``repro serve``.
+
+One request and one response per line, both JSON objects.  Every request
+names an ``op``; every response carries ``"ok"`` plus op-specific payload, or
+``{"ok": false, "error": ..., "error_type": ...}`` on failure — the server
+never crashes on a bad message.  The protocol is deliberately transport
+agnostic: :class:`ServiceProtocol` maps message dicts to response dicts,
+:func:`serve` pumps it over a line-based stream pair (stdin/stdout in the
+CLI; any file-like pair in tests).
+
+Operations
+----------
+``ping``
+    Liveness check; echoes the known session count.
+``create``
+    ``{"op": "create", "name": ..., "spec": {...RunSpec dict...}}`` — create a
+    named session (optional ``use_accel``/``trace``/``validate`` flags).
+``submit``
+    ``{"op": "submit", "name": ..., "point": p, "commodities": [..]}`` —
+    route one request; responds with the
+    :meth:`~repro.api.session.AssignmentEvent.to_dict` event.
+``status`` / ``list``
+    Introspect one session / list all known session names.
+``snapshot``
+    Return the session's full snapshot dict inline.
+``evict``
+    Snapshot the session to disk and release its memory (it reloads
+    transparently on the next submit).
+``finalize``
+    Freeze the session into a result record
+    (:meth:`~repro.api.record.RunRecord.to_dict`).
+``close``
+    Forget a session entirely.
+``shutdown``
+    Evict all live sessions to disk (when a snapshot dir is configured) and
+    stop the serve loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Mapping, Optional
+
+from repro.exceptions import ReproError
+from repro.service.manager import SessionManager
+
+__all__ = ["ServiceProtocol", "serve"]
+
+
+class ServiceProtocol:
+    """Map wire-protocol message dicts onto a :class:`SessionManager`."""
+
+    def __init__(self, manager: SessionManager) -> None:
+        self._manager = manager
+
+    # ------------------------------------------------------------------
+    def handle(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """One response dict per message dict; errors become error responses."""
+        try:
+            if not isinstance(message, Mapping):
+                raise ReproError(f"messages must be JSON objects, got {type(message).__name__}")
+            op = message.get("op")
+            handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+            if handler is None:
+                raise ReproError(f"unknown op {op!r}")
+            return handler(message)
+        except Exception as error:  # noqa: BLE001 - the server must not crash
+            return {
+                "ok": False,
+                "error": str(error),
+                "error_type": type(error).__name__,
+            }
+
+    def handle_line(self, line: str) -> str:
+        """JSON-text-in, JSON-text-out convenience around :meth:`handle`."""
+        return json.dumps(self._respond_to_line(line))
+
+    def _respond_to_line(self, line: str) -> Dict[str, Any]:
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {
+                "ok": False,
+                "error": f"bad JSON: {error}",
+                "error_type": "JSONDecodeError",
+            }
+        return self.handle(message)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _required(message: Mapping[str, Any], key: str) -> Any:
+        if key not in message:
+            raise ReproError(f"op {message.get('op')!r} needs a {key!r} field")
+        return message[key]
+
+    def _op_ping(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "pong": True, "sessions": len(self._manager)}
+
+    def _op_create(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        name = self._required(message, "name")
+        spec = self._required(message, "spec")
+        status = self._manager.create(
+            name,
+            spec,
+            use_accel=message.get("use_accel"),
+            trace=bool(message.get("trace", False)),
+            validate=bool(message.get("validate", True)),
+        )
+        return {"ok": True, "session": status}
+
+    def _op_submit(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        name = self._required(message, "name")
+        point = self._required(message, "point")
+        commodities = self._required(message, "commodities")
+        event = self._manager.submit(name, point, commodities)
+        return {"ok": True, "name": name, "event": event.to_dict()}
+
+    def _op_status(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "session": self._manager.status(self._required(message, "name"))}
+
+    def _op_list(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "sessions": self._manager.names()}
+
+    def _op_snapshot(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        name = self._required(message, "name")
+        snapshot = self._manager.snapshot(name)
+        return {"ok": True, "name": name, "snapshot": snapshot.to_dict()}
+
+    def _op_evict(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        name = self._required(message, "name")
+        path = self._manager.evict(name)
+        return {"ok": True, "name": name, "path": str(path)}
+
+    def _op_finalize(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        name = self._required(message, "name")
+        record = self._manager.finalize(name)
+        return {"ok": True, "name": name, "record": record.to_dict()}
+
+    def _op_close(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        name = self._required(message, "name")
+        self._manager.close(name)
+        return {"ok": True, "name": name}
+
+    def _op_shutdown(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        evicted: list[str] = []
+        try:
+            evicted = self._manager.evict_all()
+        except ReproError:
+            pass  # memory-only manager: nothing to persist
+        return {"ok": True, "shutdown": True, "evicted": evicted}
+
+
+def serve(
+    manager: SessionManager,
+    input_stream: IO[str],
+    output_stream: IO[str],
+) -> None:
+    """Pump the line protocol until EOF or a ``shutdown`` op.
+
+    Blank lines are skipped; every other input line produces exactly one
+    response line, flushed immediately so pipe-based clients can interleave
+    requests and responses.
+    """
+    protocol = ServiceProtocol(manager)
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        response = protocol._respond_to_line(line)
+        output_stream.write(json.dumps(response) + "\n")
+        output_stream.flush()
+        if response.get("shutdown"):
+            break

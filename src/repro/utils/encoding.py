@@ -1,0 +1,43 @@
+"""Strict-JSON-safe encoding of extended floats.
+
+Snapshot state dictionaries (see :mod:`repro.service.snapshot`) must round-trip
+through *strict* JSON so that any conforming parser — not just Python's — can
+read them off the wire.  Strict JSON has no ``Infinity``/``NaN`` tokens, but
+the online state legitimately contains ``inf`` (nearest-facility distances
+before the first facility covering a commodity opens).  These helpers encode
+non-finite floats as the strings ``"inf"``, ``"-inf"`` and ``"nan"``; finite
+floats pass through unchanged, so ``json`` round-trips them bit-exactly (the
+serializer emits the shortest repr that parses back to the same double).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Union
+
+__all__ = ["encode_float", "decode_float", "encode_floats", "decode_floats"]
+
+EncodedFloat = Union[float, str]
+
+
+def encode_float(value: float) -> EncodedFloat:
+    """``value`` itself when finite, else its string spelling."""
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def decode_float(value: EncodedFloat) -> float:
+    """Inverse of :func:`encode_float` (``float`` parses the string forms)."""
+    return float(value)
+
+
+def encode_floats(values: Iterable[float]) -> List[EncodedFloat]:
+    return [encode_float(v) for v in values]
+
+
+def decode_floats(values: Iterable[EncodedFloat]) -> List[float]:
+    return [decode_float(v) for v in values]

@@ -11,11 +11,18 @@ produce bit-identical results (a requirement of the sweep-executor tests).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_seeds", "child_rngs", "RandomState"]
+__all__ = [
+    "ensure_rng",
+    "spawn_seeds",
+    "child_rngs",
+    "rng_state",
+    "rng_from_state",
+    "RandomState",
+]
 
 RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -40,6 +47,54 @@ def ensure_rng(seed: RandomState = None) -> np.random.Generator:
         "seed must be None, an int, a numpy SeedSequence or a numpy Generator; "
         f"got {type(seed).__name__}"
     )
+
+
+def _encode_state_value(value: Any) -> Any:
+    """Recursively convert a bit-generator state entry to JSON-compatible data."""
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, dict):
+        return {str(key): _encode_state_value(entry) for key, entry in value.items()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _decode_state_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=np.dtype(value["dtype"]))
+        return {key: _decode_state_value(entry) for key, entry in value.items()}
+    return value
+
+
+def rng_state(generator: np.random.Generator) -> Dict[str, Any]:
+    """The generator's exact bit-generator state as JSON-compatible data.
+
+    The returned dictionary round-trips through JSON (numpy arrays inside
+    MT19937-style states are tagged and listified) and restores the *identical*
+    stream through :func:`rng_from_state` — the foundation of bit-identical
+    session snapshot/resume.
+    """
+    return _encode_state_value(dict(generator.bit_generator.state))
+
+
+def rng_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """A fresh generator whose stream continues exactly from ``state``.
+
+    ``state`` is the output of :func:`rng_state`; the bit-generator class is
+    recreated by the name recorded in the state dictionary.
+    """
+    decoded = _decode_state_value(state)
+    name = decoded.get("bit_generator")
+    bit_generator_cls = getattr(np.random, str(name), None)
+    if bit_generator_cls is None or not isinstance(name, str):
+        raise ValueError(f"unknown bit generator {name!r} in rng state")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = decoded
+    return np.random.Generator(bit_generator)
 
 
 def spawn_seeds(seed: RandomState, count: int) -> list[int]:

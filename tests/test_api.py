@@ -68,6 +68,16 @@ class TestRegistry:
         with pytest.raises(UnknownComponentError, match="pd-omflp"):
             ALGORITHMS.get("not-an-algorithm")
 
+    def test_unknown_near_miss_gets_did_you_mean(self):
+        with pytest.raises(UnknownComponentError, match="did you mean 'pd-omflp'"):
+            ALGORITHMS.get("pd-omfpl")
+        with pytest.raises(UnknownComponentError, match="did you mean 'uniform-line'"):
+            METRICS.get("uniform_line")
+        # Distant names get no suggestion, just the registered list.
+        with pytest.raises(UnknownComponentError) as excinfo:
+            COSTS.get("zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
     def test_decorator_registration_and_duplicate_rejection(self):
         registry = Registry("widget")
 
@@ -313,6 +323,57 @@ class TestOnlineSession:
         )
         session.submit(0, {0})
         assert session.finalize().seed == 5
+
+    def test_generator_rng_keeps_provenance_via_rng_state(self):
+        # Regression: a session started from a live generator used to lose
+        # all seed provenance; the record now carries the serialized
+        # bit-generator state, and replaying from it is bit-identical.
+        import numpy as np
+
+        from repro.utils.rng import rng_from_state
+
+        generator = np.random.default_rng(123)
+        generator.uniform(size=7)  # advance: not equivalent to seed 123
+        session = OnlineSession(
+            RandOMFLPAlgorithm(), uniform_line_metric(8), PowerCost(4, 1.0), rng=generator
+        )
+        events = session.submit_many([(1, {0, 1}), (6, {2}), (2, {0, 3})])
+        record = session.finalize()
+        assert record.seed is None
+        assert record.rng_state is not None
+        assert "rng_state" in record.to_dict()
+        json.dumps(record.to_dict())  # JSON-compatible provenance
+
+        replay = OnlineSession(
+            RandOMFLPAlgorithm(),
+            uniform_line_metric(8),
+            PowerCost(4, 1.0),
+            rng=rng_from_state(record.rng_state),
+        )
+        replayed = replay.submit_many([(1, {0, 1}), (6, {2}), (2, {0, 3})])
+        assert replayed == events
+        assert replay.finalize().total_cost == record.total_cost
+
+    def test_int_seeded_record_also_carries_rng_state(self):
+        session = OnlineSession(
+            PDOMFLPAlgorithm(), uniform_line_metric(4), PowerCost(2, 1.0), rng=7
+        )
+        session.submit(0, {0})
+        record = session.finalize()
+        assert record.seed == 7
+        assert record.rng_state is not None
+
+    def test_assignment_event_dict_round_trip(self):
+        session = OnlineSession(
+            PDOMFLPAlgorithm(), uniform_line_metric(8), PowerCost(4, 1.0)
+        )
+        for event in session.submit_many([(1, {0, 1}), (6, {2}), (2, {0, 3})]):
+            data = event.to_dict()
+            # Wire-protocol-ready: strict JSON, frozensets as sorted lists.
+            assert data["commodities"] == sorted(event.commodities)
+            assert isinstance(data["facility_ids"], list)
+            rebuilt = type(event).from_dict(json.loads(json.dumps(data)))
+            assert rebuilt == event
 
     def test_legacy_run_online_passes_full_instance_to_prepare(self, small_instance):
         # Regression: the batch shim must hand algorithms the caller's real

@@ -1,0 +1,306 @@
+"""Bit-identical equivalence of snapshot→restore→continue vs uninterrupted runs.
+
+The durable-session layer (:mod:`repro.service.snapshot`) claims that a
+session snapshotted after ``k`` requests and restored in a fresh
+process-like context — new algorithm object, freshly rebuilt metric/cost,
+snapshot round-tripped through its strict-JSON codec — continues the stream
+**bit-identically** to the uninterrupted run: the same remaining-stream
+events, the same final costs, the same facility-opening sequence and the
+same assignment trace.
+
+This harness pins that claim for every registered online algorithm over a
+grid of metric/cost scenarios, seeds and both hot paths
+(``use_accel=True``/``False``), mirroring the accel-equivalence harness of
+``tests/test_accel_equivalence.py``.  Equality is asserted with ``==`` on
+floats throughout — "close" is not good enough; resume is exact or broken.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.algorithms.base import OnlineAlgorithm, OnlineResult
+from repro.algorithms.online.always_large import AlwaysLargeGreedy
+from repro.algorithms.online.fotakis_ofl import FotakisOFLAlgorithm
+from repro.algorithms.online.meyerson_ofl import MeyersonOFLAlgorithm
+from repro.algorithms.online.no_prediction import NoPredictionGreedy
+from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+from repro.algorithms.online.per_commodity import PerCommodityAlgorithm
+from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+from repro.algorithms.online.threshold import ThresholdPDAlgorithm
+from repro.api.session import OnlineSession
+from repro.core.commodities import CommodityUniverse
+from repro.core.instance import Instance
+from repro.core.requests import Request, RequestSequence
+from repro.costs.count_based import PowerCost
+from repro.costs.general import PerPointScaledCost
+from repro.exceptions import SnapshotError
+from repro.metric.factories import random_euclidean_metric, random_line_metric
+from repro.metric.grid import GridMetric
+from repro.service.snapshot import SessionSnapshot
+from repro.utils.rng import ensure_rng
+from repro.workloads.clustered import clustered_workload
+
+SEEDS = [0, 1, 2]
+
+#: Requests served before the snapshot is taken.
+SPLIT = 7
+
+
+# ---------------------------------------------------------------------------
+# Scenario grid: (name, num_commodities, instance builder)
+# ---------------------------------------------------------------------------
+def _random_requests(metric, num_commodities: int, num_requests: int, rng) -> RequestSequence:
+    requests = []
+    for index in range(num_requests):
+        point = int(rng.integers(0, metric.num_points))
+        size = int(rng.integers(1, num_commodities + 1))
+        commodities = rng.choice(num_commodities, size=size, replace=False)
+        requests.append(
+            Request(index=index, point=point, commodities=frozenset(int(e) for e in commodities))
+        )
+    return RequestSequence(requests)
+
+
+def _instance_on(metric, num_commodities: int, seed: int, *, scaled_costs: bool = False):
+    rng = ensure_rng(seed)
+    cost = PowerCost(num_commodities, 1.0, scale=0.5)
+    if scaled_costs:
+        scales = rng.uniform(0.5, 8.0, size=metric.num_points)
+        cost = PerPointScaledCost(cost, scales)
+    requests = _random_requests(metric, num_commodities, 18, rng)
+    return Instance(metric, cost, requests, commodities=CommodityUniverse(num_commodities))
+
+
+def _line_single(seed: int) -> Instance:
+    return _instance_on(random_line_metric(24, rng=seed), 1, seed, scaled_costs=True)
+
+
+def _euclidean_single(seed: int) -> Instance:
+    return _instance_on(random_euclidean_metric(30, rng=seed), 1, seed, scaled_costs=True)
+
+
+def _clustered_multi(seed: int) -> Instance:
+    return clustered_workload(
+        num_requests=18, num_commodities=5, num_clusters=3, rng=seed
+    ).instance
+
+
+def _grid_multi(seed: int) -> Instance:
+    return _instance_on(GridMetric.full_grid(5, 5), 4, seed, scaled_costs=True)
+
+
+SCENARIOS: List[Tuple[str, int, Callable[[int], Instance]]] = [
+    ("line-single", 1, _line_single),
+    ("euclidean-single", 1, _euclidean_single),
+    ("clustered-euclidean", 5, _clustered_multi),
+    ("grid-l1", 4, _grid_multi),
+]
+
+#: name -> (factory taking (num_commodities, use_accel), single_commodity_only)
+ALGORITHMS: Dict[str, Tuple[Callable[[int, bool], OnlineAlgorithm], bool]] = {
+    "meyerson-ofl": (lambda c, ua: MeyersonOFLAlgorithm(use_accel=ua), True),
+    "fotakis-ofl": (lambda c, ua: FotakisOFLAlgorithm(use_accel=ua), True),
+    "pd-omflp": (lambda c, ua: PDOMFLPAlgorithm(use_accel=ua), False),
+    "rand-omflp": (lambda c, ua: RandOMFLPAlgorithm(use_accel=ua), False),
+    "threshold-pd": (
+        lambda c, ua: ThresholdPDAlgorithm(c, excluded=(0,), use_accel=ua),
+        False,
+    ),
+    "per-commodity-fotakis": (
+        lambda c, ua: PerCommodityAlgorithm("fotakis", use_accel=ua),
+        False,
+    ),
+    "per-commodity-meyerson": (
+        lambda c, ua: PerCommodityAlgorithm("meyerson", use_accel=ua),
+        False,
+    ),
+    "no-prediction-greedy": (lambda c, ua: NoPredictionGreedy(), False),
+    "always-large-greedy": (lambda c, ua: AlwaysLargeGreedy(), False),
+}
+
+CASES = [
+    pytest.param(
+        algorithm_name,
+        scenario_name,
+        seed,
+        use_accel,
+        id=f"{algorithm_name}-{scenario_name}-s{seed}-{'accel' if use_accel else 'ref'}",
+    )
+    for algorithm_name, (_, single_only) in ALGORITHMS.items()
+    for scenario_name, num_commodities, _ in SCENARIOS
+    if single_only == (num_commodities == 1)
+    for seed in SEEDS
+    for use_accel in (True, False)
+]
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting one run
+# ---------------------------------------------------------------------------
+def _facility_sequence(result: OnlineResult) -> List[Tuple[int, int, Tuple[int, ...], float]]:
+    return [
+        (f.id, f.point, tuple(sorted(f.configuration)), f.opening_cost)
+        for f in result.solution.facilities
+    ]
+
+
+def _assignment_trace(result: OnlineResult) -> List[Tuple[int, Tuple[Tuple[int, int], ...]]]:
+    return [
+        (a.request_index, tuple(sorted(a.facility_of_commodity.items())))
+        for a in result.solution.assignments
+    ]
+
+
+def _session_for(algorithm_name: str, scenario_name: str, seed: int, use_accel: bool):
+    """A fresh (session, instance) pair — components rebuilt from scratch."""
+    factory, _ = ALGORITHMS[algorithm_name]
+    builder = next(b for name, _, b in SCENARIOS if name == scenario_name)
+    num_commodities = next(c for name, c, _ in SCENARIOS if name == scenario_name)
+    instance = builder(seed)
+    session = OnlineSession(
+        factory(num_commodities, use_accel),
+        instance.metric,
+        instance.cost_function,
+        commodities=instance.commodities,
+        rng=seed,
+        trace=True,
+        use_accel=use_accel,
+    )
+    return session, instance
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm_name,scenario_name,seed,use_accel", CASES)
+def test_resume_is_bit_identical_to_uninterrupted(
+    algorithm_name, scenario_name, seed, use_accel
+):
+    # Uninterrupted reference run.
+    full, instance = _session_for(algorithm_name, scenario_name, seed, use_accel)
+    full_events = [full.submit(r.point, r.commodities) for r in instance.requests]
+    full_record = full.finalize()
+
+    # Interrupted run: serve SPLIT requests, snapshot, round-trip the codec.
+    partial, instance2 = _session_for(algorithm_name, scenario_name, seed, use_accel)
+    partial_events = [
+        partial.submit(r.point, r.commodities) for r in instance2.requests[:SPLIT]
+    ]
+    snapshot = SessionSnapshot.from_json(partial.snapshot().to_json())
+
+    # Restore against freshly rebuilt components (a fresh-process stand-in;
+    # the partial session is never touched again).
+    factory, _ = ALGORITHMS[algorithm_name]
+    num_commodities = next(c for name, c, _ in SCENARIOS if name == scenario_name)
+    builder = next(b for name, _, b in SCENARIOS if name == scenario_name)
+    instance3 = builder(seed)
+    resumed = OnlineSession.restore(
+        snapshot,
+        algorithm=factory(num_commodities, use_accel),
+        metric=instance3.metric,
+        cost=instance3.cost_function,
+        commodities=instance3.commodities,
+    )
+    assert resumed.num_requests == SPLIT
+    assert resumed.total_cost == partial.total_cost
+
+    resumed_events = [
+        resumed.submit(r.point, r.commodities) for r in instance3.requests[SPLIT:]
+    ]
+    resumed_record = resumed.finalize()
+
+    # The pre-snapshot prefix and the post-restore remainder must both equal
+    # the uninterrupted stream, event for event (exact float equality —
+    # AssignmentEvent equality compares every cost field).
+    assert partial_events == full_events[:SPLIT]
+    assert resumed_events == full_events[SPLIT:]
+
+    # Exact cost equality on the finalized records.
+    assert resumed_record.total_cost == full_record.total_cost
+    assert resumed_record.opening_cost == full_record.opening_cost
+    assert resumed_record.connection_cost == full_record.connection_cost
+
+    # Identical facility-opening sequences and assignment traces.
+    assert _facility_sequence(resumed_record.source) == _facility_sequence(full_record.source)
+    assert _assignment_trace(resumed_record.source) == _assignment_trace(full_record.source)
+
+    # Identical trace transcripts (openings, assignments, coin flips, duals).
+    assert [e.to_dict() for e in resumed_record.trace.events] == [
+        e.to_dict() for e in full_record.trace.events
+    ]
+
+
+def test_snapshot_restores_from_embedded_spec():
+    """A spec-embedded snapshot restores without re-supplying components."""
+    spec = {
+        "algorithm": "rand-omflp",
+        "workload": {
+            "kind": "uniform",
+            "num_requests": 12,
+            "num_commodities": 4,
+            "num_points": 10,
+        },
+        "seed": 5,
+    }
+    from repro.service.snapshot import components_from_spec
+
+    algorithm, instance, generator = components_from_spec(spec)
+    session = OnlineSession(
+        algorithm,
+        instance.metric,
+        instance.cost_function,
+        commodities=instance.commodities,
+        rng=generator,
+    )
+    for request in instance.requests[:5]:
+        session.submit(request.point, request.commodities)
+    snapshot = SessionSnapshot.from_json(session.snapshot(spec=spec).to_json())
+
+    resumed = OnlineSession.restore(snapshot)
+    for request in instance.requests[5:]:
+        session.submit(request.point, request.commodities)
+        resumed.submit(request.point, request.commodities)
+    assert resumed.finalize().total_cost == session.finalize().total_cost
+
+
+def test_restore_rejects_mismatched_codec_versions():
+    session, _ = _session_for("pd-omflp", "grid-l1", 0, True)
+    data = session.snapshot().to_dict()
+    data["version"] = 999
+    with pytest.raises(SnapshotError, match="version"):
+        SessionSnapshot.from_dict(data)
+    data["version"] = 1
+    data["format"] = "something-else"
+    with pytest.raises(SnapshotError, match="format"):
+        SessionSnapshot.from_dict(data)
+
+
+def test_restore_requires_components_or_spec():
+    session, _ = _session_for("pd-omflp", "grid-l1", 0, True)
+    snapshot = session.snapshot()
+    with pytest.raises(SnapshotError, match="embedded spec"):
+        OnlineSession.restore(snapshot)
+
+
+def test_snapshot_refuses_finalized_sessions():
+    session, instance = _session_for("no-prediction-greedy", "grid-l1", 0, True)
+    session.submit(instance.requests[0].point, instance.requests[0].commodities)
+    session.finalize()
+    with pytest.raises(SnapshotError, match="finalized"):
+        session.snapshot()
+
+
+def test_pd_snapshot_refuses_cross_accel_restore():
+    """A PD snapshot records which hot path produced it and rejects the other."""
+    session, instance = _session_for("pd-omflp", "clustered-euclidean", 0, True)
+    for request in instance.requests[:4]:
+        session.submit(request.point, request.commodities)
+    snapshot = session.snapshot()
+    algorithm = PDOMFLPAlgorithm(use_accel=False)
+    instance2 = _clustered_multi(0)
+    algorithm.prepare(instance2, None, None)
+    with pytest.raises(SnapshotError, match="hot path"):
+        algorithm.load_state_dict(snapshot.algorithm_state)
