@@ -1,0 +1,127 @@
+"""Benchmark of the parallel experiment engine: serial vs workers ∈ {2, 4}.
+
+Times one representative competitive-ratio grid (the ``omflp/scaling-cell``
+task shared by the Theorem-4/19 experiments: clustered workload generation,
+an offline reference solve and an online run per cell) through
+:func:`repro.engine.run_plan` at 1, 2 and 4 workers, plus a warm re-run
+against a populated result store.  While timing, it asserts the engine's
+determinism contract: every mode must produce exactly the serial rows.
+
+Running this file as a script emits the machine-readable trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json
+
+The committed ``BENCH_engine.json`` records the host's CPU budget next to
+the timings: process-level speedup is bounded by available cores (a 1-core
+container shows pool overhead, not speedup — the shard-invariance assertions
+still run), while the warm-store figure is hardware-independent.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import pytest
+
+import repro.experiments.registry  # noqa: F401 - registers the engine tasks
+from repro.engine import ExperimentPlan, ResultStore, run_plan
+from repro.experiments.thm4_pd_scaling import scaling_cases
+from repro.parallel.pool import ParallelConfig
+
+#: The benchmark grid: 16 scaling cells, each heavy enough (workload
+#: generation + offline reference + online run) that pool overhead is noise.
+GRID = {
+    "n_sweep": [120, 160, 200, 240],
+    "s_sweep": [8, 12, 16, 20],
+    "fixed_s": 12,
+    "fixed_n": 160,
+    "seeds": [0, 1],
+}
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def build_bench_plan() -> ExperimentPlan:
+    return ExperimentPlan(
+        "bench-engine", "omflp/scaling-cell", scaling_cases("pd-omflp", **GRID), seed=0
+    )
+
+
+def _canonical(rows):
+    return json.dumps(rows, sort_keys=True, default=str)
+
+
+def run_bench() -> dict:
+    plan = build_bench_plan()
+    timings = {}
+    rows_by_mode = {}
+    for workers in WORKER_COUNTS:
+        config = ParallelConfig(workers=workers, min_items_for_parallel=1)
+        start = time.perf_counter()
+        outcome = run_plan(plan, config=config)
+        timings[f"workers_{workers}_s"] = round(time.perf_counter() - start, 4)
+        rows_by_mode[workers] = outcome.rows
+
+    for workers in WORKER_COUNTS[1:]:
+        assert _canonical(rows_by_mode[workers]) == _canonical(rows_by_mode[1]), (
+            f"workers={workers} changed results — shard-invariance violation"
+        )
+
+    with tempfile.TemporaryDirectory() as directory:
+        store = ResultStore(directory)
+        run_plan(plan, store=store)  # populate
+        start = time.perf_counter()
+        warm = run_plan(plan, store=store)
+        timings["warm_store_s"] = round(time.perf_counter() - start, 4)
+        assert warm.reused_count == len(plan)
+        assert _canonical(warm.rows) == _canonical(rows_by_mode[1])
+
+    serial = timings["workers_1_s"]
+    return {
+        "benchmark": "engine-plan-execution",
+        "task": "omflp/scaling-cell",
+        "grid": GRID,
+        "num_tasks": len(plan),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "affinity_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else None,
+            "python": sys.version.split()[0],
+        },
+        "timings": timings,
+        "speedup_workers_2": round(serial / timings["workers_2_s"], 3),
+        "speedup_workers_4": round(serial / timings["workers_4_s"], 3),
+        "speedup_warm_store": round(serial / timings["warm_store_s"], 1),
+        "identical_rows_across_modes": True,
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_serial_plan(benchmark):
+    plan = build_bench_plan()
+    outcome = benchmark.pedantic(lambda: run_plan(plan), rounds=1, iterations=1)
+    assert len(outcome.rows) == len(plan)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", type=str, default=None, help="write the trajectory to this JSON file"
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench()
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,13 +105,16 @@ from repro.costs import (
     check_condition_one,
     check_subadditivity,
 )
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
 from repro.exceptions import (
     AlgorithmError,
+    EngineError,
     ExperimentError,
     InfeasibleSolutionError,
     InvalidCostFunctionError,
     InvalidInstanceError,
     InvalidMetricError,
+    ParallelTaskError,
     ReproError,
     UnknownComponentError,
 )
@@ -150,6 +153,11 @@ __all__ = [
     "run_grid",
     "OnlineSession",
     "AssignmentEvent",
+    # engine
+    "ExperimentPlan",
+    "ResultStore",
+    "run_plan",
+    "engine_task",
     # core
     "Instance",
     "Request",
@@ -215,5 +223,7 @@ __all__ = [
     "InfeasibleSolutionError",
     "AlgorithmError",
     "ExperimentError",
+    "ParallelTaskError",
+    "EngineError",
     "UnknownComponentError",
 ]

@@ -12,6 +12,7 @@ from repro.exceptions import ExperimentError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports analysis)
     from repro.api.record import RunRecord
+    from repro.engine.executor import PlanResult
 
 __all__ = ["ExperimentResult"]
 
@@ -63,6 +64,27 @@ class ExperimentResult:
             experiment_id=experiment_id,
             title=title,
             rows=[record.to_row() for record in records],
+            **kwargs,
+        )
+
+    @classmethod
+    def from_plan_result(
+        cls,
+        experiment_id: str,
+        title: str,
+        outcome: "PlanResult",
+        **kwargs: Any,
+    ) -> "ExperimentResult":
+        """Tabulate an engine :class:`~repro.engine.executor.PlanResult`.
+
+        One row per emitted task row, flattened in case order — the standard
+        reduce step of the engine-backed experiments (they then append their
+        experiment-specific notes and fits).
+        """
+        return cls(
+            experiment_id=experiment_id,
+            title=title,
+            rows=outcome.rows,
             **kwargs,
         )
 

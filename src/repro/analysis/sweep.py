@@ -1,4 +1,4 @@
-"""Parameter sweeps with optional process-based parallelism."""
+"""Parameter grids, and ad-hoc sweeps as a thin shim over the engine."""
 
 from __future__ import annotations
 
@@ -7,7 +7,6 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ExperimentError
-from repro.parallel.pool import ParallelConfig, parallel_map
 
 __all__ = ["ParameterGrid", "run_sweep"]
 
@@ -49,6 +48,20 @@ class ParameterGrid:
         return length
 
 
+@dataclass(frozen=True)
+class _ParameterWorker:
+    """Adapts a params-only sweep worker to the engine task signature.
+
+    A module-level class (not a closure) so instances pickle across process
+    boundaries whenever the wrapped worker itself does.
+    """
+
+    worker: Callable[[Dict[str, Any]], Dict[str, Any]]
+
+    def __call__(self, case: Dict[str, Any], rng: Any) -> Dict[str, Any]:
+        return self.worker(case)
+
+
 def run_sweep(
     worker: Callable[[Dict[str, Any]], Dict[str, Any]],
     grid: ParameterGrid,
@@ -63,17 +76,32 @@ def run_sweep(
     so that downstream tables are self-describing.  With ``workers > 1`` the
     evaluations are scattered over a process pool (``worker`` must then be a
     module-level function).
+
+    This is a thin shim over the experiment engine: the grid becomes an
+    ad-hoc :class:`~repro.engine.plan.ExperimentPlan` and runs through
+    :func:`~repro.engine.executor.run_plan` (in-process task, no store).
     """
-    points = list(grid)
-    if workers is not None and workers > 1:
-        # A closure cannot cross process boundaries; run the worker remotely
-        # and merge the parameters locally instead.
-        results = parallel_map(
-            worker, points, config=ParallelConfig(workers=workers, chunk_size=chunk_size)
-        )
-    else:
-        results = [worker(parameters) for parameters in points]
-    return [_merge_row(parameters, result) for parameters, result in zip(points, results)]
+    # Imported here (not at module top) because the engine imports this
+    # module for ParameterGrid.
+    from repro.engine.executor import run_plan
+    from repro.engine.plan import ExperimentPlan
+
+    plan = ExperimentPlan(
+        name="ad-hoc-sweep",
+        task=_ParameterWorker(worker),
+        cases=list(grid),
+        seed=0,
+        # User grids may legitimately contain a parameter named "task".
+        allow_case_task_override=False,
+    )
+    # Historical run_sweep contract: workers=None means serial (the engine's
+    # ParallelConfig would read it as os.cpu_count(), which breaks closure
+    # workers that never needed to pickle before).
+    outcome = run_plan(plan, workers=1 if workers is None else workers, chunk_size=chunk_size)
+    return [
+        _merge_row(dict(case), result.row)
+        for case, result in zip(plan.cases, outcome.results)
+    ]
 
 
 def _merge_row(parameters: Dict[str, Any], result: Dict[str, Any]) -> Dict[str, Any]:

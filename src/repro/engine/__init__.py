@@ -1,0 +1,52 @@
+"""The unified parallel experiment engine: plan → shard → execute → store.
+
+Every experiment of the reproduction declares its cases as a *plan* — a
+declarative case grid bound to a named task function and one root seed — and
+hands it to :func:`run_plan`:
+
+.. code-block:: python
+
+    from repro.engine import ExperimentPlan, ResultStore, run_plan
+
+    plan = ExperimentPlan.from_grid(
+        "demo",
+        "covering-lemma/cell",
+        ParameterGrid({"n": [8, 32, 128], "chain_density": [0.1, 0.5]}),
+        base={"c": 1.0, "instances_per_cell": 10},
+        seed=0,
+    )
+    outcome = run_plan(plan, workers=4, store=ResultStore("results/store"))
+
+The engine guarantees:
+
+* **shard invariance** — each task draws from a private child RNG stream
+  (:func:`repro.utils.rng.spawn_child_seeds`), so any worker count produces
+  bit-identical rows in case order;
+* **transparent reuse** — with a :class:`~repro.engine.store.ResultStore`,
+  previously computed tasks are served from disk by content address and only
+  new grid cells execute;
+* **failure identity** — a crashing case in a pooled run surfaces as
+  :class:`~repro.exceptions.ParallelTaskError` naming the failing item, not
+  a bare pool traceback (serial runs keep the raw exception for debugging).
+
+Layers: :mod:`repro.engine.plan` (planning), :mod:`repro.engine.tasks` (the
+named task registry), :mod:`repro.engine.executor` (parallel execution),
+:mod:`repro.engine.store` (content-addressed persistence).
+"""
+
+from repro.engine.executor import PlanResult, TaskResult, run_plan
+from repro.engine.plan import EngineTask, ExperimentPlan, grid_cases
+from repro.engine.store import ResultStore
+from repro.engine.tasks import TASKS, engine_task
+
+__all__ = [
+    "ExperimentPlan",
+    "EngineTask",
+    "grid_cases",
+    "run_plan",
+    "PlanResult",
+    "TaskResult",
+    "ResultStore",
+    "TASKS",
+    "engine_task",
+]

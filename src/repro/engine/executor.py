@@ -1,0 +1,203 @@
+"""The execution half of the engine: plans in, ordered results out.
+
+:func:`run_plan` takes an :class:`~repro.engine.plan.ExperimentPlan`, resolves
+store hits, scatters the remaining tasks over the process pool of
+:mod:`repro.parallel.pool`, persists fresh results, and returns a
+:class:`PlanResult` with one :class:`TaskResult` per case **in case order** —
+regardless of worker count or scheduling.
+
+Determinism contract (pinned by ``tests/test_engine_equivalence.py``): a task
+is a pure function of ``(task function, case dict, child seed)``; the child
+seeds come from :func:`repro.utils.rng.spawn_child_seeds` on the plan's root
+seed, so ``workers=64`` produces rows ``==`` to ``workers=1`` bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.plan import EngineTask, ExperimentPlan, TaskRef
+from repro.engine.store import ResultStore
+from repro.engine.tasks import TASKS
+from repro.exceptions import EngineError, UnknownComponentError
+from repro.parallel.pool import ParallelConfig, parallel_map
+
+__all__ = ["TaskResult", "PlanResult", "run_plan", "execute_task"]
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one engine task.
+
+    ``rows`` is always a list (single-row task functions are normalized);
+    ``reused`` marks results served from the store instead of computed.
+    """
+
+    task: EngineTask
+    rows: List[Dict[str, Any]]
+    runtime_seconds: float
+    reused: bool = False
+
+    @property
+    def row(self) -> Dict[str, Any]:
+        """The single row of a one-row task (raises otherwise)."""
+        if len(self.rows) != 1:
+            raise EngineError(
+                f"task {self.task.task!r} (case {self.task.index}) produced "
+                f"{len(self.rows)} rows; .row expects exactly one"
+            )
+        return self.rows[0]
+
+
+@dataclass
+class PlanResult:
+    """All task results of one plan, in case order."""
+
+    plan: ExperimentPlan
+    results: List[TaskResult]
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """Every emitted row, flattened in case order."""
+        return [row for result in self.results for row in result.rows]
+
+    @property
+    def reused_count(self) -> int:
+        return sum(1 for result in self.results if result.reused)
+
+    @property
+    def computed_count(self) -> int:
+        return len(self.results) - self.reused_count
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Summed per-task runtimes (compute time, not wall-clock)."""
+        return sum(result.runtime_seconds for result in self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _resolve(task: TaskRef):
+    if not isinstance(task, str):
+        return task
+    try:
+        return TASKS.get(task)
+    except UnknownComponentError:
+        # Fork-started workers inherit the parent's registrations, but
+        # spawn-started ones (and bare scripts) may not have imported the
+        # defining experiment modules yet; the stock tasks all register as a
+        # side effect of the experiments registry import, so try that once.
+        import repro.experiments.registry  # noqa: F401
+
+        return TASKS.get(task)
+
+
+def _normalize_rows(task: TaskRef, output: Any) -> List[Dict[str, Any]]:
+    if isinstance(output, Mapping):
+        rows: Sequence[Any] = [output]
+    elif isinstance(output, Sequence) and not isinstance(output, (str, bytes)):
+        rows = output
+    else:
+        raise EngineError(
+            f"engine task {task!r} must return a row dict or a list of row "
+            f"dicts, got {type(output).__name__}"
+        )
+    for row in rows:
+        if not isinstance(row, Mapping):
+            raise EngineError(
+                f"engine task {task!r} emitted a non-mapping row: "
+                f"{type(row).__name__}"
+            )
+    return [dict(row) for row in rows]
+
+
+def execute_task(payload: Tuple[TaskRef, Dict[str, Any], int]) -> Tuple[List[Dict[str, Any]], float]:
+    """Run one ``(task, case, seed)`` payload; module-level, so it pickles.
+
+    This is the function the process pool scatters: the payload is plain data
+    (plus, for in-process plans, a module-level callable), and the returned
+    ``(rows, runtime_seconds)`` tuple is plain data again.
+    """
+    kind, case, seed = payload
+    function = _resolve(kind)
+    generator = np.random.default_rng(seed)
+    start = perf_counter()
+    output = function(case, generator)
+    elapsed = perf_counter() - start
+    return _normalize_rows(kind, output), elapsed
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    *,
+    workers: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    config: Optional[ParallelConfig] = None,
+) -> PlanResult:
+    """Execute every task of ``plan``, reusing stored results where possible.
+
+    Parameters
+    ----------
+    workers, chunk_size:
+        Forwarded to :class:`~repro.parallel.pool.ParallelConfig` (ignored
+        when an explicit ``config`` is given).  ``workers=1`` runs serially
+        in-process — results are identical either way.
+    store:
+        Optional :class:`~repro.engine.store.ResultStore`.  Tasks found in
+        the store are *not* re-executed; fresh results are persisted after
+        the gather.  Requires every task to be name-registered plain data.
+    config:
+        Full parallel configuration (e.g. to lower
+        ``min_items_for_parallel`` in tests that must exercise the pool).
+    """
+    tasks = plan.tasks()
+    results: List[Optional[TaskResult]] = [None] * len(tasks)
+    pending: List[EngineTask] = []
+    for task in tasks:
+        if store is not None:
+            if not isinstance(task.task, str):
+                raise EngineError(
+                    f"plan {plan.name!r} uses a live-callable task; result "
+                    "stores need name-registered tasks (see repro.engine.TASKS)"
+                )
+            hit = store.get(task.key())
+            if hit is not None:
+                results[task.index] = TaskResult(
+                    task=task,
+                    rows=[dict(row) for row in hit["rows"]],
+                    runtime_seconds=float(hit["runtime_seconds"]),
+                    reused=True,
+                )
+                continue
+        pending.append(task)
+
+    if pending:
+        if config is None:
+            config = ParallelConfig(workers=workers, chunk_size=chunk_size)
+        outcomes = parallel_map(
+            execute_task,
+            [(task.task, task.case, task.seed) for task in pending],
+            config=config,
+        )
+        for task, (rows, runtime) in zip(pending, outcomes):
+            results[task.index] = TaskResult(task=task, rows=rows, runtime_seconds=runtime)
+            if store is not None:
+                # Persisted in the parent after the gather: one writer, and
+                # the atomic rename makes concurrent stores safe anyway.
+                store.put(
+                    task.key(),
+                    task=task.task,
+                    case=task.case,
+                    seed=task.seed,
+                    rows=rows,
+                    runtime_seconds=runtime,
+                    plan=plan.name,
+                )
+
+    return PlanResult(plan=plan, results=[result for result in results if result is not None])

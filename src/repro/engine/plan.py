@@ -1,0 +1,183 @@
+"""Declarative experiment plans: a case grid turned into executable tasks.
+
+An :class:`ExperimentPlan` is the planning half of the engine: it names a
+registered task function (:mod:`repro.engine.tasks`), lists the declarative
+``case`` dictionaries to evaluate it on (typically expanded from a
+:class:`~repro.analysis.sweep.ParameterGrid`), and fixes one root seed.  From
+that, :meth:`ExperimentPlan.tasks` derives the deterministic, independently
+executable :class:`EngineTask` list:
+
+* task ``i`` receives child seed ``spawn_child_seeds(root_seed, n)[i]``, so
+  every task owns a private RNG stream — results are bit-identical whether
+  the tasks run serially, on 2 workers or on 64, in any order;
+* a task whose kind is a registered *name* (not a live callable) and whose
+  case is plain JSON data has a stable content address
+  (:meth:`EngineTask.key`), which the on-disk result store uses for
+  transparent reuse across runs.
+
+Individual cases may override the plan-level task with a reserved ``"task"``
+key, so one plan can mix case kinds (e.g. a sweep plus a single trace task).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import EngineError
+from repro.utils.rng import RandomState, spawn_child_seeds
+
+__all__ = ["EngineTask", "ExperimentPlan", "grid_cases"]
+
+#: A task reference: the name of a registered task, or a live callable
+#: (in-process / module-level only; unnamed tasks cannot use the store).
+TaskRef = Union[str, Callable]
+
+
+def _resolve_root_seed(seed: RandomState) -> int:
+    """Normalize any RandomState into one reproducible integer root seed."""
+    if seed is None:
+        seed = np.random.default_rng()
+    if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
+        return spawn_child_seeds(seed, 1)[0]
+    return int(seed)
+
+
+def grid_cases(
+    grid: Iterable[Mapping[str, Any]],
+    *,
+    base: Optional[Mapping[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Expand a parameter grid into case dictionaries over a common ``base``.
+
+    ``grid`` is any iterable of parameter mappings — typically a
+    :class:`~repro.analysis.sweep.ParameterGrid`; each point is merged over
+    ``base`` (point keys win).
+    """
+    base_dict = dict(base or {})
+    return [{**base_dict, **dict(point)} for point in grid]
+
+
+@dataclass(frozen=True)
+class EngineTask:
+    """One independently executable unit of a plan.
+
+    Attributes
+    ----------
+    index:
+        Position in the plan's case list (results are reported in this order).
+    task:
+        Registered task name or live callable.
+    case:
+        The declarative case dictionary handed to the task function.
+    seed:
+        The task's private child seed; the executor builds
+        ``numpy.random.default_rng(seed)`` from it.
+    """
+
+    index: int
+    task: TaskRef
+    case: Dict[str, Any] = field(hash=False)
+    seed: int = 0
+
+    def storable(self) -> bool:
+        """Whether this task has a stable content address (named + plain data)."""
+        if not isinstance(self.task, str):
+            return False
+        try:
+            self.key()
+        except EngineError:
+            return False
+        return True
+
+    def key(self) -> str:
+        """Content address: SHA-256 of the canonical task JSON.
+
+        The address covers the task name, the full case dictionary and the
+        derived seed — two tasks collide exactly when they would compute the
+        same thing, which is what makes store reuse safe.
+        """
+        if not isinstance(self.task, str):
+            raise EngineError(
+                f"task {self.task!r} is a live callable; only name-registered "
+                "tasks have stable content addresses (register it on "
+                "repro.engine.TASKS)"
+            )
+        payload = {"task": self.task, "case": self.case, "seed": self.seed}
+        try:
+            canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError) as error:
+            raise EngineError(
+                f"case for task {self.task!r} is not plain JSON data and cannot "
+                f"be content-addressed: {error}"
+            ) from None
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ExperimentPlan:
+    """A declarative case grid bound to a task function and a root seed.
+
+    Attributes
+    ----------
+    name:
+        Plan label (conventionally the experiment id); used in messages and
+        stored result payloads.
+    task:
+        Default task for every case (name or callable); a case dict may
+        override it with a ``"task"`` entry.
+    cases:
+        The declarative case dictionaries, in result order.
+    seed:
+        Root seed.  Any ``RandomState`` is accepted and normalized to an
+        integer at construction, so :meth:`tasks` is stable across calls.
+    allow_case_task_override:
+        Whether a case's ``"task"`` entry overrides the plan-level task
+        (the default).  Ad-hoc plans over arbitrary user parameter grids
+        (e.g. :func:`repro.analysis.sweep.run_sweep`) disable this so a
+        parameter that happens to be named ``task`` stays plain data.
+    """
+
+    name: str
+    task: TaskRef
+    cases: List[Dict[str, Any]]
+    seed: RandomState = 0
+    allow_case_task_override: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.cases:
+            raise EngineError(f"plan {self.name!r} declares no cases")
+        self.cases = [dict(case) for case in self.cases]
+        self.seed = _resolve_root_seed(self.seed)
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        task: TaskRef,
+        grid: Iterable[Mapping[str, Any]],
+        *,
+        base: Optional[Mapping[str, Any]] = None,
+        seed: RandomState = 0,
+    ) -> "ExperimentPlan":
+        """Build a plan directly from a parameter grid (see :func:`grid_cases`)."""
+        return cls(name=name, task=task, cases=grid_cases(grid, base=base), seed=seed)
+
+    def tasks(self) -> List[EngineTask]:
+        """The deterministic task list: one task and one child seed per case."""
+        seeds = spawn_child_seeds(self.seed, len(self.cases))
+        tasks: List[EngineTask] = []
+        for index, case in enumerate(self.cases):
+            case = dict(case)
+            kind = self.task
+            if self.allow_case_task_override:
+                kind = case.pop("task", self.task)
+            tasks.append(EngineTask(index=index, task=kind, case=case, seed=seeds[index]))
+        return tasks
+
+    def __len__(self) -> int:
+        return len(self.cases)

@@ -1,0 +1,177 @@
+"""The on-disk, content-addressed result store of the experiment engine.
+
+Every executed :class:`~repro.engine.plan.EngineTask` whose kind is a
+registered name persists its rows under the task's content address
+(``sha256`` of the canonical ``{task, case, seed}`` JSON — see
+:meth:`~repro.engine.plan.EngineTask.key`).  Re-running a plan looks each
+task up first and reuses hits, so growing a grid only computes the new
+cells and re-running an experiment with an unchanged grid costs one disk
+read per case.
+
+The store reuses the durability conventions of :mod:`repro.service.snapshot`:
+
+* **atomic writes** — payloads land in a temp file and are moved into place
+  with ``os.replace``, so a crash mid-write never corrupts an entry;
+* **strict JSON** — non-finite floats are tagged
+  (``{"__float__": "nan" | "inf" | "-inf"}``) instead of relying on Python's
+  non-standard ``NaN``/``Infinity`` tokens, so any conforming parser can read
+  result files; decoding restores the exact float values.
+
+Entries are sharded into 256 subdirectories by address prefix so that very
+large sweeps do not degenerate into one directory with millions of files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.exceptions import EngineError
+
+__all__ = ["ResultStore"]
+
+#: Format marker embedded in every stored result payload.
+STORE_FORMAT = "repro-engine-result"
+
+#: Current payload version (bump on breaking changes to the payload shape).
+STORE_VERSION = 1
+
+
+def _encode(value: Any) -> Any:
+    """Recursively tag non-finite floats for strict-JSON output."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"__float__": "nan"}
+        return {"__float__": "inf" if value > 0 else "-inf"}
+    if isinstance(value, dict):
+        return {str(key): _encode(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(entry) for entry in value]
+    return value
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__float__"}:
+            return float(value["__float__"])
+        return {key: _decode(entry) for key, entry in value.items()}
+    if isinstance(value, list):
+        return [_decode(entry) for entry in value]
+    return value
+
+
+class ResultStore:
+    """Content-addressed persistence for engine task results.
+
+    Parameters
+    ----------
+    directory:
+        Root directory of the store (created lazily on first write).
+
+    The store tracks ``hits`` / ``misses`` / ``writes`` counters over its
+    lifetime so callers (CLI, benchmarks) can report reuse rates.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """The sharded on-disk path of ``key`` (``<root>/<k[:2]>/<k>.json``)."""
+        if not isinstance(key, str) or len(key) < 8:
+            raise EngineError(f"malformed store key {key!r}")
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` when absent/unreadable.
+
+        Unreadable or format-mismatched entries count as misses (and are left
+        in place for forensics) rather than failing the run: the store is a
+        cache, recomputation is always correct.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            if (
+                not isinstance(data, dict)
+                or data.get("format") != STORE_FORMAT
+                or data.get("version") != STORE_VERSION
+                or data.get("key") != key
+            ):
+                self.misses += 1
+                return None
+            decoded = _decode(data)
+        except (OSError, ValueError, TypeError):
+            # Covers unreadable files, broken JSON and corrupt float tags
+            # inside an otherwise-parseable entry.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return decoded
+
+    def put(
+        self,
+        key: str,
+        *,
+        task: str,
+        case: Dict[str, Any],
+        seed: int,
+        rows: List[Dict[str, Any]],
+        runtime_seconds: float,
+        plan: Optional[str] = None,
+    ) -> Path:
+        """Persist one task result atomically; returns the entry path."""
+        payload = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "key": key,
+            "task": task,
+            "case": _encode(case),
+            "seed": seed,
+            "rows": _encode(rows),
+            "runtime_seconds": runtime_seconds,
+        }
+        if plan is not None:
+            payload["plan"] = plan
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Insertion order is preserved (no sort_keys): reused rows must come
+        # back with exactly the fresh rows' column order, or warm re-runs
+        # would render differently ordered tables/CSVs than cold ones.
+        text = json.dumps(payload, indent=None, allow_nan=False)
+        # Atomic write (temp file + os.replace), as in service.snapshot: a
+        # crash mid-write leaves either the old entry or none, never garbage.
+        temporary = path.with_name(path.name + f".tmp{os.getpid()}")
+        temporary.write_text(text)
+        os.replace(temporary, path)
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """All stored content addresses (directory scan)."""
+        if not self.directory.is_dir():
+            return
+        for shard in sorted(self.directory.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self.path_for(key).exists()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultStore({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )

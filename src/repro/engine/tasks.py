@@ -1,0 +1,72 @@
+"""The registry of named engine task functions.
+
+An *engine task* is the unit of work the parallel experiment engine
+schedules: a module-level callable
+
+.. code-block:: python
+
+    @engine_task("thm2-single-point/game")
+    def game_case(case: dict, rng: numpy.random.Generator) -> dict | list[dict]:
+        ...
+
+that receives one declarative ``case`` dictionary (a grid point — plain JSON
+data) plus a task-private random generator, and returns one table row (or a
+list of rows).  Because tasks are registered by *name*, a task invocation is
+fully described by plain data — ``(task name, case dict, child seed)`` — which
+is what lets the engine
+
+* pickle work items across process boundaries without shipping closures, and
+* content-address results in the on-disk store
+  (:class:`repro.engine.store.ResultStore`).
+
+The built-in ``"run-spec"`` task executes a declarative
+:class:`~repro.api.spec.RunSpec` dictionary through :func:`repro.api.run.run`,
+so any scenario expressible as a spec is schedulable on the engine without
+writing code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Union
+
+import numpy as np
+
+from repro.api.registry import Registry
+
+__all__ = ["TASKS", "engine_task", "TaskFunction"]
+
+#: Signature of an engine task: ``fn(case, rng) -> row | [rows]``.
+TaskFunction = Callable[[Dict[str, Any], np.random.Generator], Union[Dict, List[Dict]]]
+
+#: All named engine tasks.  Experiments register theirs at import time, so
+#: importing :mod:`repro.experiments.registry` populates the full set.
+TASKS = Registry("engine task")
+
+
+def engine_task(name: str) -> Callable[[TaskFunction], TaskFunction]:
+    """Decorator: register a module-level case function under ``name``.
+
+    Task names conventionally namespace by experiment id
+    (``"thm18-cost-class/adversary"``) so one experiment can own several
+    kinds of case.
+    """
+    return TASKS.register(name)
+
+
+@engine_task("run-spec")
+def run_spec_task(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """Execute the declarative RunSpec dict under ``case["spec"]``.
+
+    A spec without an explicit ``seed`` receives one drawn from the task's
+    child stream, so grids over seedless specs are still deterministic and
+    shard-invariant.  Returns the run's flat row form.
+    """
+    # Imported lazily: the engine core stays importable without pulling the
+    # full api/algorithm stack into every worker that never runs specs.
+    from repro.api.run import run
+
+    spec = dict(case["spec"])
+    if spec.get("seed") is None:
+        spec["seed"] = int(rng.integers(0, 2**63 - 1))
+    record = run(spec)
+    return record.to_row()

@@ -15,6 +15,8 @@ __all__ = [
     "InvalidInstanceError",
     "AlgorithmError",
     "ExperimentError",
+    "ParallelTaskError",
+    "EngineError",
     "UnknownComponentError",
     "SnapshotError",
     "ServiceError",
@@ -47,6 +49,37 @@ class AlgorithmError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured inconsistently or produced invalid output."""
+
+
+class ParallelTaskError(ExperimentError):
+    """One item of a parallel map failed inside a worker process.
+
+    Carries the failing item's identity (``item_index`` into the input list
+    and a truncated ``item_repr``) so that a crash in a thousand-task sweep
+    names the offending case instead of surfacing a bare pool traceback.
+    Raised by :func:`repro.parallel.pool.parallel_map`; the original exception
+    is chained as ``__cause__`` (or, across process boundaries, preserved in
+    the message and remote traceback).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        item_index: "int | None" = None,
+        item_repr: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.item_index = item_index
+        self.item_repr = item_repr
+
+    def __reduce__(self):
+        # Exceptions with keyword state need an explicit reduce to survive the
+        # pickle round-trip from a pool worker back to the parent process.
+        return (type(self), (self.args[0], self.item_index, self.item_repr))
+
+
+class EngineError(ReproError):
+    """The experiment engine was misused (unstorable task, bad plan, ...)."""
 
 
 class UnknownComponentError(ReproError):

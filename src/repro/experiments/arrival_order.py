@@ -11,91 +11,119 @@ between the two orders per algorithm.
 
 Expected shape: the random order is never worse on average and usually
 cheaper, with the randomized algorithm benefiting at least as much as the
-deterministic one.
+deterministic one.  One engine case per ``(workload, algorithm)`` pair; the
+shuffled-order replicas use fixed order seeds so the request multiset
+comparison stays paired across algorithms.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.algorithms.base import run_online
-from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
-from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
 from repro.analysis.runner import ExperimentResult
-from repro.utils.rng import RandomState, ensure_rng
+from repro.api.components import ALGORITHMS
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
+from repro.utils.rng import RandomState
 from repro.workloads.clustered import clustered_workload
 from repro.workloads.orders import adversarial_order, random_order
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "arrival-order"
 TITLE = "Section 1.2: adversarial vs random arrival order on identical request multisets"
+
+ALGORITHM_NAMES = ("pd-omflp", "rand-omflp")
+
+
+@engine_task("arrival-order/comparison")
+def order_comparison_case(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """Adversarial-order vs random-order mean cost for one algorithm."""
+    workload = clustered_workload(
+        num_requests=case["num_requests"],
+        num_commodities=case["num_commodities"],
+        num_clusters=max(2, case["num_commodities"] // 4),
+        rng=case["seed"],
+    )
+    base_instance = workload.instance
+    adversarial = adversarial_order(base_instance)
+    algorithm_name = case["algorithm"]
+    repeats = case["repeats"]
+    randomized = ALGORITHMS.build(algorithm_name).randomized
+    runs = repeats if randomized else 1
+    adversarial_costs = [
+        run_online(ALGORITHMS.build(algorithm_name), adversarial, rng=rng).total_cost
+        for _ in range(runs)
+    ]
+    random_costs = []
+    for i in range(max(runs, repeats)):
+        shuffled = random_order(base_instance, rng=1000 + i)
+        random_costs.append(
+            run_online(ALGORITHMS.build(algorithm_name), shuffled, rng=rng).total_cost
+        )
+    adversarial_mean = float(np.mean(adversarial_costs))
+    random_mean = float(np.mean(random_costs))
+    return {
+        "num_requests": case["num_requests"],
+        "num_commodities": case["num_commodities"],
+        "seed": case["seed"],
+        "algorithm": algorithm_name,
+        "adversarial_order_cost": adversarial_mean,
+        "random_order_cost": random_mean,
+        "adversarial_over_random": adversarial_mean / random_mean
+        if random_mean > 0
+        else float("inf"),
+    }
+
+
+def _profile(profile: str) -> Dict[str, Any]:
+    if profile == "quick":
+        return {"cases": [(40, 8, 0), (40, 8, 1)], "repeats": 3}
+    return {
+        "cases": [
+            (n, s, seed) for (n, s) in [(100, 8), (200, 16), (400, 16)] for seed in range(3)
+        ],
+        "repeats": 7,
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    settings = _profile(profile)
+    cases: List[Dict[str, Any]] = [
+        {
+            "num_requests": num_requests,
+            "num_commodities": num_commodities,
+            "seed": workload_seed,
+            "algorithm": name,
+            "repeats": settings["repeats"],
+        }
+        for (num_requests, num_commodities, workload_seed) in settings["cases"]
+        for name in ALGORITHM_NAMES
+    ]
+    return ExperimentPlan(EXPERIMENT_ID, "arrival-order/comparison", cases, seed=seed)
 
 
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        cases = [(40, 8, 0), (40, 8, 1)]
-        repeats = 3
-    else:
-        cases = [(n, s, seed) for (n, s) in [(100, 8), (200, 16), (400, 16)] for seed in range(3)]
-        repeats = 7
-
-    factories: Dict[str, Callable[[], object]] = {
-        "pd-omflp": PDOMFLPAlgorithm,
-        "rand-omflp": RandOMFLPAlgorithm,
-    }
-
-    rows: List[dict] = []
-    for num_requests, num_commodities, seed in cases:
-        workload = clustered_workload(
-            num_requests=num_requests,
-            num_commodities=num_commodities,
-            num_clusters=max(2, num_commodities // 4),
-            rng=seed,
-        )
-        base_instance = workload.instance
-        adversarial = adversarial_order(base_instance)
-        for name, factory in factories.items():
-            randomized = factory().randomized
-            runs = repeats if randomized else 1
-            adversarial_costs = [
-                run_online(factory(), adversarial, rng=generator).total_cost for _ in range(runs)
-            ]
-            random_costs = []
-            for i in range(max(runs, repeats)):
-                shuffled = random_order(base_instance, rng=1000 + i)
-                random_costs.append(run_online(factory(), shuffled, rng=generator).total_cost)
-            adversarial_mean = float(np.mean(adversarial_costs))
-            random_mean = float(np.mean(random_costs))
-            rows.append(
-                {
-                    "num_requests": num_requests,
-                    "num_commodities": num_commodities,
-                    "seed": seed,
-                    "algorithm": name,
-                    "adversarial_order_cost": adversarial_mean,
-                    "random_order_cost": random_mean,
-                    "adversarial_over_random": adversarial_mean / random_mean
-                    if random_mean > 0
-                    else float("inf"),
-                }
-            )
-
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        parameters={"cases": cases, "repeats": repeats, "profile": profile},
+    settings = _profile(profile)
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
+        parameters={"cases": settings["cases"], "repeats": settings["repeats"], "profile": profile},
     )
-    for name in factories:
-        factors = [r["adversarial_over_random"] for r in rows if r["algorithm"] == name]
+    for name in ALGORITHM_NAMES:
+        factors = [
+            r["adversarial_over_random"] for r in result.rows if r["algorithm"] == name
+        ]
         result.notes.append(
             f"{name}: adversarial-order cost / random-order cost = {float(np.mean(factors)):.3f} "
             "on average (>= 1 means the random order helps, matching the weakened-adversary "

@@ -15,33 +15,42 @@ constant facility cost, so
 A second block repeats the comparison with the Theorem-2 cost
 ``⌈|σ|/√|S|⌉`` (ratios ≈ √|S| vs ≈ O(1)·√|S| — here every algorithm must pay
 √|S|, and the baseline pays another √|S| factor when the sequence covers all
-of S).
+of S).  Cases form a ``cost kind × |S| × algorithm`` engine grid; the
+per-case repeats loop lives inside the task.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.algorithms.online.no_prediction import NoPredictionGreedy
-from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
-from repro.algorithms.online.per_commodity import PerCommodityAlgorithm
-from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+import numpy as np
+
 from repro.algorithms.base import run_online
 from repro.analysis.regression import fit_power_law
 from repro.analysis.runner import ExperimentResult
+from repro.api.components import ALGORITHMS
 from repro.core.instance import Instance
 from repro.core.requests import RequestSequence
 from repro.costs.count_based import AdversaryCost, ConstantCost
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
 from repro.metric.single_point import SinglePointMetric
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "baseline-separation"
 TITLE = "Section 1.3: separation between PD/RAND and the per-commodity decomposition"
 
+ALGORITHM_NAMES = (
+    "pd-omflp",
+    "rand-omflp",
+    "per-commodity-fotakis",
+    "per-commodity-meyerson",
+    "no-prediction-greedy",
+)
 
-def _all_commodities_instance(num_commodities: int, cost_kind: str, rng) -> tuple:
+
+def _all_commodities_instance(num_commodities: int, cost_kind: str, rng) -> Tuple:
     """All |S| commodities requested one at a time at a single point."""
     order = rng.permutation(num_commodities)
     requests = RequestSequence.from_tuples([(0, {int(e)}) for e in order])
@@ -59,63 +68,71 @@ def _all_commodities_instance(num_commodities: int, cost_kind: str, rng) -> tupl
     return instance, float(opt)
 
 
+@engine_task("baseline-separation/case")
+def separation_case(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """Mean cost of one algorithm over ``repeats`` permuted request orders."""
+    num_commodities = case["num_commodities"]
+    total = 0.0
+    opt = 1.0
+    for _ in range(case["repeats"]):
+        instance, opt = _all_commodities_instance(num_commodities, case["cost_kind"], rng)
+        result = run_online(ALGORITHMS.build(case["algorithm"]), instance, rng=rng)
+        total += result.total_cost
+    mean_cost = total / case["repeats"]
+    ratio = mean_cost / opt if opt > 0 else float("inf")
+    return {
+        "cost_kind": case["cost_kind"],
+        "num_commodities": num_commodities,
+        "algorithm": case["algorithm"],
+        "mean_cost": mean_cost,
+        "opt_cost": opt,
+        "ratio": ratio,
+    }
+
+
+def _profile(profile: str) -> Dict[str, Any]:
+    if profile == "quick":
+        return {"sizes": [16, 36, 64], "repeats": 2}
+    return {"sizes": [16, 64, 256, 1024], "repeats": 5}
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    settings = _profile(profile)
+    cases: List[Dict[str, Any]] = [
+        {
+            "cost_kind": cost_kind,
+            "num_commodities": num_commodities,
+            "algorithm": name,
+            "repeats": settings["repeats"],
+        }
+        for cost_kind in ("constant", "adversary")
+        for num_commodities in settings["sizes"]
+        for name in ALGORITHM_NAMES
+    ]
+    return ExperimentPlan(EXPERIMENT_ID, "baseline-separation/case", cases, seed=seed)
+
+
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        sizes = [16, 36, 64]
-        repeats = 2
-    else:
-        sizes = [16, 64, 256, 1024]
-        repeats = 5
-
-    factories: Dict[str, Callable[[], object]] = {
-        "pd-omflp": PDOMFLPAlgorithm,
-        "rand-omflp": RandOMFLPAlgorithm,
-        "per-commodity-fotakis": lambda: PerCommodityAlgorithm("fotakis"),
-        "per-commodity-meyerson": lambda: PerCommodityAlgorithm("meyerson"),
-        "no-prediction-greedy": NoPredictionGreedy,
-    }
-
-    rows: List[dict] = []
-    ratios: Dict[tuple, List[float]] = {}
-    for cost_kind in ("constant", "adversary"):
-        for num_commodities in sizes:
-            for name, factory in factories.items():
-                total = 0.0
-                opt = 1.0
-                for _ in range(repeats):
-                    instance, opt = _all_commodities_instance(
-                        num_commodities, cost_kind, generator
-                    )
-                    result = run_online(factory(), instance, rng=generator)
-                    total += result.total_cost
-                mean_cost = total / repeats
-                ratio = mean_cost / opt if opt > 0 else float("inf")
-                rows.append(
-                    {
-                        "cost_kind": cost_kind,
-                        "num_commodities": num_commodities,
-                        "algorithm": name,
-                        "mean_cost": mean_cost,
-                        "opt_cost": opt,
-                        "ratio": ratio,
-                    }
-                )
-                ratios.setdefault((cost_kind, name), []).append(ratio)
-
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        parameters={"sizes": sizes, "repeats": repeats, "profile": profile},
+    settings = _profile(profile)
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
+        parameters={**settings, "profile": profile},
     )
+    ratios: Dict[tuple, List[float]] = {}
+    for row in result.rows:
+        ratios.setdefault((row["cost_kind"], row["algorithm"]), []).append(row["ratio"])
     for (cost_kind, name), series in sorted(ratios.items()):
         if len(series) >= 2 and all(v > 0 for v in series):
-            fit = fit_power_law(sizes, series)
+            fit = fit_power_law(settings["sizes"], series)
             result.notes.append(
                 f"[{cost_kind}] {name}: ratio grows like |S|^{fit.exponent:.3f}"
             )

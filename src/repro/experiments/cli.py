@@ -14,6 +14,16 @@ Run every experiment and write JSON results to a directory::
 
     repro run-all --profile full --output results/
 
+Run experiments on the parallel engine with a persistent result store
+(``--workers`` defaults to the ``REPRO_WORKERS`` environment variable;
+previously computed grid cases are reused from the store by content
+address)::
+
+    repro experiments run thm4-pd-scaling thm19-rand-scaling \
+        --workers 4 --store results/store
+
+    repro experiments list
+
 Run a declarative :class:`~repro.api.spec.RunSpec` from a JSON file (or
 several — each produces one row) without writing any Python::
 
@@ -37,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -44,9 +55,27 @@ from typing import List, Optional
 from repro.api.record import records_to_csv
 from repro.api.run import run_many
 from repro.api.spec import RunSpec
+from repro.engine.store import ResultStore
+from repro.exceptions import ExperimentError
 from repro.experiments.registry import list_experiments, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+def _default_workers() -> int:
+    """Worker-count default: the ``REPRO_WORKERS`` environment variable, else 1."""
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return 1
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ExperimentError(
+            f"REPRO_WORKERS must be an integer, got {value!r}"
+        ) from None
+    if workers < 1:
+        raise ExperimentError(f"REPRO_WORKERS must be >= 1, got {workers}")
+    return workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +98,26 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
     _add_run_options(all_parser)
 
+    experiments_parser = subparsers.add_parser(
+        "experiments",
+        help="engine-backed experiment operations (list, run with workers + store)",
+    )
+    experiments_sub = experiments_parser.add_subparsers(
+        dest="experiments_command", required=True
+    )
+    experiments_sub.add_parser("list", help="list registered experiment ids")
+    experiments_run = experiments_sub.add_parser(
+        "run",
+        help="run experiments on the parallel engine (all of them when no id is given)",
+    )
+    experiments_run.add_argument(
+        "experiment_ids",
+        nargs="*",
+        metavar="experiment_id",
+        help="experiment ids (default: every registered experiment)",
+    )
+    _add_run_options(experiments_run)
+
     spec_parser = subparsers.add_parser(
         "spec", help="run declarative RunSpec JSON files (one result row each)"
     )
@@ -79,7 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the seed of every spec"
     )
     spec_parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes for the spec batch"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the spec batch (default: REPRO_WORKERS or 1)",
     )
     spec_parser.add_argument(
         "--csv", type=Path, default=None, help="also write the result rows to a CSV file"
@@ -119,7 +171,16 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes for parallel sweeps"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the engine plan (default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="content-addressed result-store directory (reuses computed cases)",
     )
     parser.add_argument(
         "--output",
@@ -132,15 +193,32 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_and_report(experiment_id: str, args: argparse.Namespace) -> None:
+def _run_and_report(
+    experiment_id: str, args: argparse.Namespace, store: Optional[ResultStore] = None
+) -> None:
     result = run_experiment(
-        experiment_id, profile=args.profile, rng=args.seed, workers=args.workers
+        experiment_id,
+        profile=args.profile,
+        rng=args.seed,
+        workers=args.workers if args.workers is not None else _default_workers(),
+        store=store,
     )
     print(result.to_markdown() if args.markdown else result.to_table())
     print()
     if args.output is not None:
         path = result.save(args.output)
         print(f"wrote {path}")
+
+
+def _run_experiments(experiment_ids: List[str], args: argparse.Namespace) -> None:
+    store = ResultStore(args.store) if args.store is not None else None
+    for experiment_id in experiment_ids:
+        _run_and_report(experiment_id, args, store=store)
+    if store is not None:
+        print(
+            f"result store {store.directory}: {store.hits} case(s) reused, "
+            f"{store.writes} computed and stored"
+        )
 
 
 def _run_specs(args: argparse.Namespace) -> None:
@@ -150,7 +228,8 @@ def _run_specs(args: argparse.Namespace) -> None:
         if args.seed is not None:
             data["seed"] = args.seed
         specs.append(RunSpec.from_dict(data))
-    records = run_many(specs, workers=args.workers)
+    workers = args.workers if args.workers is not None else _default_workers()
+    records = run_many(specs, workers=workers)
     for record in records:
         print(record.to_json())
     if args.csv is not None:
@@ -166,11 +245,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
-        _run_and_report(args.experiment_id, args)
+        _run_experiments([args.experiment_id], args)
         return 0
     if args.command == "run-all":
-        for experiment_id in list_experiments():
-            _run_and_report(experiment_id, args)
+        _run_experiments(list_experiments(), args)
+        return 0
+    if args.command == "experiments":
+        if args.experiments_command == "list":
+            for experiment_id in list_experiments():
+                print(experiment_id)
+            return 0
+        _run_experiments(args.experiment_ids or list_experiments(), args)
         return 0
     if args.command == "spec":
         _run_specs(args)

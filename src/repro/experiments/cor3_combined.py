@@ -4,78 +4,92 @@ Runs the Corollary-3 adversary (the Theorem-2 commodity game plus the adaptive
 Fotakis-style line game) against PD-OMFLP and RAND-OMFLP over a grid of
 ``(|S|, n)`` values and reports, per grid point, the two measured ratios, the
 combined measured ratio (the adversary picks the worse game) and the predicted
-``√|S| + log n / log log n`` shape.
+``√|S| + log n / log log n`` shape.  The ``(|S|, n, algorithm)`` grid runs as
+one engine plan, one combined game per task.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Dict, List, Optional
 
-from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
-from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+import numpy as np
+
 from repro.analysis.runner import ExperimentResult
+from repro.api.components import ALGORITHMS
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
 from repro.lowerbound.combined import run_combined_lower_bound_game
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "cor3-line-adversary"
 TITLE = "Corollary 3: combined single-point + adaptive line adversary"
+
+ALGORITHM_NAMES = ("pd-omflp", "rand-omflp")
+
+
+@engine_task("cor3-line-adversary/game")
+def combined_game_case(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """Both constituent adversaries against one algorithm at one grid point."""
+    name = case["algorithm"]
+    game = run_combined_lower_bound_game(
+        lambda: ALGORITHMS.build(name),
+        num_commodities=case["num_commodities"],
+        num_requests=case["num_requests"],
+        repeats=case["repeats"],
+        rng=rng,
+    )
+    return {
+        "num_commodities": case["num_commodities"],
+        "num_requests": case["num_requests"],
+        "algorithm": name,
+        "single_point_ratio": game.single_point.ratio,
+        "line_game_ratio": game.line_game.ratio,
+        "combined_measured": game.measured_ratio,
+        "predicted_shape": game.predicted_ratio,
+    }
+
+
+def _profile(profile: str) -> Dict[str, Any]:
+    if profile == "quick":
+        return {"commodity_sizes": [16, 64], "request_sizes": [32, 128], "repeats": 2}
+    return {
+        "commodity_sizes": [16, 64, 256, 1024],
+        "request_sizes": [64, 256, 1024, 4096],
+        "repeats": 5,
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    settings = _profile(profile)
+    cases: List[Dict[str, Any]] = [
+        {
+            "num_commodities": num_commodities,
+            "num_requests": num_requests,
+            "algorithm": name,
+            "repeats": settings["repeats"],
+        }
+        for num_commodities in settings["commodity_sizes"]
+        for num_requests in settings["request_sizes"]
+        for name in ALGORITHM_NAMES
+    ]
+    return ExperimentPlan(EXPERIMENT_ID, "cor3-line-adversary/game", cases, seed=seed)
 
 
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        commodity_sizes = [16, 64]
-        request_sizes = [32, 128]
-        repeats = 2
-    else:
-        commodity_sizes = [16, 64, 256, 1024]
-        request_sizes = [64, 256, 1024, 4096]
-        repeats = 5
-
-    factories: Dict[str, Callable[[], object]] = {
-        "pd-omflp": PDOMFLPAlgorithm,
-        "rand-omflp": RandOMFLPAlgorithm,
-    }
-
-    rows: List[dict] = []
-    for num_commodities in commodity_sizes:
-        for num_requests in request_sizes:
-            for name, factory in factories.items():
-                game = run_combined_lower_bound_game(
-                    factory,
-                    num_commodities=num_commodities,
-                    num_requests=num_requests,
-                    repeats=repeats,
-                    rng=generator,
-                )
-                rows.append(
-                    {
-                        "num_commodities": num_commodities,
-                        "num_requests": num_requests,
-                        "algorithm": name,
-                        "single_point_ratio": game.single_point.ratio,
-                        "line_game_ratio": game.line_game.ratio,
-                        "combined_measured": game.measured_ratio,
-                        "predicted_shape": game.predicted_ratio,
-                    }
-                )
-
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        parameters={
-            "commodity_sizes": commodity_sizes,
-            "request_sizes": request_sizes,
-            "repeats": repeats,
-            "profile": profile,
-        },
+    settings = _profile(profile)
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
+        parameters={**settings, "profile": profile},
     )
     result.notes.append(
         "the combined measured ratio should grow both when |S| grows (sqrt term) and when n "

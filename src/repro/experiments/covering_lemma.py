@@ -6,81 +6,92 @@ Lemmas 10–11 achieves it and is what the dual-feasibility proof charges.  The
 experiment generates random instances across a sweep of ``n`` and chain
 densities, runs the constructive cover, and reports the worst observed ratio
 ``cover weight / (2 c H_n)`` (which must stay ≤ 1) plus how tight the bound is
-on average.
+on average.  Each ``(n, density)`` cell is one engine case; the
+instances-per-cell loop runs inside the task on the cell's private stream.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, Optional
+
+import numpy as np
 
 from repro.analysis.runner import ExperimentResult
+from repro.analysis.sweep import ParameterGrid
 from repro.covering.ordered_covering import cover_ordered_instance, random_ordered_instance
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
 from repro.utils.maths import harmonic_number
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "covering-lemma"
 TITLE = "Lemma 12: constructive c-ordered covering weight vs the 2cH_n bound"
+
+
+@engine_task("covering-lemma/cell")
+def covering_cell(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """Cover ``instances_per_cell`` random instances of one ``(n, density)`` cell."""
+    n = case["n"]
+    c = float(case["c"])
+    ratios = []
+    weights = []
+    for _ in range(case["instances_per_cell"]):
+        instance = random_ordered_instance(
+            n, c=c, growth_probability=case["chain_density"], rng=rng
+        )
+        solution = cover_ordered_instance(instance)
+        assert solution.is_cover_of(n)
+        bound = instance.harmonic_bound()
+        ratios.append(solution.total_weight / bound if bound > 0 else 0.0)
+        weights.append(solution.total_weight)
+    return {
+        "n": n,
+        "chain_density": case["chain_density"],
+        "mean_cover_weight": sum(weights) / len(weights),
+        "bound_2cHn": 2.0 * c * harmonic_number(n),
+        "mean_weight_over_bound": sum(ratios) / len(ratios),
+        "max_weight_over_bound": max(ratios),
+    }
+
+
+def _profile(profile: str) -> Dict[str, Any]:
+    if profile == "quick":
+        return {"lengths": [8, 32, 128], "densities": [0.1, 0.5], "instances_per_cell": 10}
+    return {
+        "lengths": [8, 32, 128, 512, 2048],
+        "densities": [0.05, 0.1, 0.3, 0.5, 0.9],
+        "instances_per_cell": 50,
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    settings = _profile(profile)
+    return ExperimentPlan.from_grid(
+        EXPERIMENT_ID,
+        "covering-lemma/cell",
+        ParameterGrid({"n": settings["lengths"], "chain_density": settings["densities"]}),
+        base={"c": 1.0, "instances_per_cell": settings["instances_per_cell"]},
+        seed=seed,
+    )
 
 
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        lengths = [8, 32, 128]
-        densities = [0.1, 0.5]
-        instances_per_cell = 10
-    else:
-        lengths = [8, 32, 128, 512, 2048]
-        densities = [0.05, 0.1, 0.3, 0.5, 0.9]
-        instances_per_cell = 50
-
-    c = 1.0
-    rows: List[dict] = []
-    worst_ratio = 0.0
-    for n in lengths:
-        for density in densities:
-            ratios = []
-            weights = []
-            for _ in range(instances_per_cell):
-                instance = random_ordered_instance(
-                    n, c=c, growth_probability=density, rng=generator
-                )
-                solution = cover_ordered_instance(instance)
-                assert solution.is_cover_of(n)
-                bound = instance.harmonic_bound()
-                ratio = solution.total_weight / bound if bound > 0 else 0.0
-                ratios.append(ratio)
-                weights.append(solution.total_weight)
-            mean_ratio = sum(ratios) / len(ratios)
-            max_ratio = max(ratios)
-            worst_ratio = max(worst_ratio, max_ratio)
-            rows.append(
-                {
-                    "n": n,
-                    "chain_density": density,
-                    "mean_cover_weight": sum(weights) / len(weights),
-                    "bound_2cHn": 2.0 * c * harmonic_number(n),
-                    "mean_weight_over_bound": mean_ratio,
-                    "max_weight_over_bound": max_ratio,
-                }
-            )
-
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        parameters={
-            "lengths": lengths,
-            "densities": densities,
-            "instances_per_cell": instances_per_cell,
-            "profile": profile,
-        },
+    settings = _profile(profile)
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
+        parameters={**settings, "profile": profile},
     )
+    worst_ratio = max(row["max_weight_over_bound"] for row in result.rows)
     result.notes.append(
         f"worst observed cover-weight / (2cH_n) = {worst_ratio:.4f} (Lemma 12 guarantees <= 1)"
     )

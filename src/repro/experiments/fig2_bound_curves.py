@@ -8,65 +8,77 @@ exponent curves
 
 notes that they coincide at ``x ∈ {0, 1, 2}`` and peak at ``x = 1`` with value
 ``|S|^{1/4}``.  This experiment regenerates the two series numerically and
-verifies those three facts.
+verifies those three facts.  Each sample point is one engine case (the grid
+is declared in :func:`build_plan`), so the curve parallelizes trivially.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.analysis.runner import ExperimentResult
 from repro.costs.count_based import PowerCost
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
 from repro.utils.rng import RandomState
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "fig2-bound-curves"
 TITLE = "Figure 2: upper vs lower bound exponent curves over the cost-class parameter x"
+
+#: |S| of Figure 2 (the paper uses 10 000 for both curves).
+NUM_COMMODITIES = 10_000
+
+
+@engine_task("fig2-bound-curves/sample")
+def curve_sample(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """One sample of the two Theorem-18 exponent curves (deterministic)."""
+    num_commodities = case["num_commodities"]
+    x = float(case["x"])
+    root = math.sqrt(num_commodities)
+    cost = PowerCost(num_commodities, x)
+    upper = root ** cost.predicted_upper_exponent()
+    lower = root ** cost.predicted_lower_exponent()
+    return {
+        "x": round(x, 4),
+        "upper_bound_sqrtS_power": upper,
+        "lower_bound_sqrtS_power": lower,
+        "gap_factor": upper / lower if lower > 0 else float("inf"),
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    """``quick`` samples x on 11 grid points, ``full`` on 81 (the smooth curve)."""
+    num_samples = 11 if profile == "quick" else 81
+    cases = [
+        {"x": float(x), "num_commodities": NUM_COMMODITIES}
+        for x in np.linspace(0.0, 2.0, num_samples)
+    ]
+    return ExperimentPlan(EXPERIMENT_ID, "fig2-bound-curves/sample", cases, seed=seed)
 
 
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    """Regenerate the Figure-2 curves.
-
-    ``quick`` samples x on a grid of 11 points, ``full`` on 81 points (matching
-    the smooth curve of the figure); both use |S| = 10 000 as in the paper.
-    """
-    num_commodities = 10_000
-    num_samples = 11 if profile == "quick" else 81
-    xs = np.linspace(0.0, 2.0, num_samples)
-    root = math.sqrt(num_commodities)
-
-    rows = []
-    for x in xs:
-        cost = PowerCost(num_commodities, float(x))
-        upper = root ** cost.predicted_upper_exponent()
-        lower = root ** cost.predicted_lower_exponent()
-        rows.append(
-            {
-                "x": round(float(x), 4),
-                "upper_bound_sqrtS_power": upper,
-                "lower_bound_sqrtS_power": lower,
-                "gap_factor": upper / lower if lower > 0 else float("inf"),
-            }
-        )
-
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        parameters={"num_commodities": num_commodities, "num_samples": num_samples},
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
+        parameters={"num_commodities": NUM_COMMODITIES, "num_samples": len(plan)},
     )
+    rows = result.rows
 
     # The three facts the figure caption states.
     peak_row = max(rows, key=lambda r: r["upper_bound_sqrtS_power"])
-    fourth_root = num_commodities**0.25
+    fourth_root = NUM_COMMODITIES**0.25
     result.notes.append(
         f"curves coincide at x in {{0, 1, 2}}: gaps "
         f"{[round(r['gap_factor'], 6) for r in rows if round(r['x'], 4) in (0.0, 1.0, 2.0)]}"

@@ -7,47 +7,48 @@ budget.  This experiment runs RAND-OMFLP with tracing enabled on a small
 clustered instance and renders the realized decision per request: how many
 distinct facilities it connected to, whether it used a large facility, its
 connection cost, and the coin flips that led there.
+
+The traced run is a single engine task returning the per-request rows, the
+transcript lines and the cost split in one structured payload; the reduce
+step below unpacks it into the experiment table.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
+
+import numpy as np
 
 from repro.algorithms.base import run_online
 from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
 from repro.analysis.runner import ExperimentResult
 from repro.core.trace import CoinFlipEvent, RequestAssignedEvent
-from repro.utils.rng import RandomState, ensure_rng
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
+from repro.utils.rng import RandomState
 from repro.workloads.clustered import clustered_workload
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "fig3-connection-trace"
 TITLE = "Figure 3: small-vs-large connection decisions of RAND-OMFLP"
 
 
-def run(
-    profile: str = "quick",
-    rng: RandomState = None,
-    workers: int = 1,
-) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        num_requests, num_commodities, num_clusters = 20, 6, 2
-    else:
-        num_requests, num_commodities, num_clusters = 80, 12, 4
-
+@engine_task("fig3-connection-trace/trace")
+def traced_run_case(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """One traced RAND-OMFLP run: per-request decisions plus the transcript."""
     workload = clustered_workload(
-        num_requests=num_requests,
-        num_commodities=num_commodities,
-        num_clusters=num_clusters,
-        rng=7,
+        num_requests=case["num_requests"],
+        num_commodities=case["num_commodities"],
+        num_clusters=case["num_clusters"],
+        rng=case["workload_seed"],
     )
     instance = workload.instance
-    result = run_online(RandOMFLPAlgorithm(), instance, rng=generator, trace=True)
+    result = run_online(RandOMFLPAlgorithm(), instance, rng=rng, trace=True)
 
-    rows: List[dict] = []
-    lines: List[str] = ["Figure 3 (executable): per-request connection decisions of rand-omflp"]
+    requests: List[Dict[str, Any]] = []
+    lines: List[str] = [
+        "Figure 3 (executable): per-request connection decisions of rand-omflp"
+    ]
     for request in instance.requests:
         events = result.trace.events_for_request(request.index)
         assigned = [e for e in events if isinstance(e, RequestAssignedEvent)]
@@ -56,7 +57,7 @@ def run(
         if not assigned:
             continue
         assignment_event = assigned[-1]
-        rows.append(
+        requests.append(
             {
                 "request": request.index,
                 "num_commodities": len(request.commodities),
@@ -75,20 +76,54 @@ def run(
             f"connected via {mode}, connection cost {assignment_event.connection_cost:.4f}, "
             f"{len(successes)}/{len(flips)} opening coins succeeded"
         )
+    return {
+        "requests": requests,
+        "lines": lines,
+        "total_cost": result.total_cost,
+        "opening_cost": result.opening_cost,
+        "connection_cost": result.connection_cost,
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    if profile == "quick":
+        num_requests, num_commodities, num_clusters = 20, 6, 2
+    else:
+        num_requests, num_commodities, num_clusters = 80, 12, 4
+    case = {
+        "num_requests": num_requests,
+        "num_commodities": num_commodities,
+        "num_clusters": num_clusters,
+        "workload_seed": 7,
+    }
+    return ExperimentPlan(EXPERIMENT_ID, "fig3-connection-trace/trace", [case], seed=seed)
+
+
+def run(
+    profile: str = "quick",
+    rng: RandomState = None,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+) -> ExperimentResult:
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    payload = outcome.results[0].row
+    rows = payload["requests"]
 
     via_large = sum(1 for row in rows if row["via_large"])
     via_small = len(rows) - via_large
+    case = plan.cases[0]
     result_obj = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         rows=rows,
         parameters={
-            "num_requests": num_requests,
-            "num_commodities": num_commodities,
-            "num_clusters": num_clusters,
+            "num_requests": case["num_requests"],
+            "num_commodities": case["num_commodities"],
+            "num_clusters": case["num_clusters"],
             "profile": profile,
         },
-        extra_text="\n".join(lines),
+        extra_text="\n".join(payload["lines"]),
     )
     both = "both situations of Figure 3 occur" if via_large and via_small else (
         "this run realized the right-hand (large facility) situation of Figure 3"
@@ -100,8 +135,8 @@ def run(
         f"{via_small}/{len(rows)} through per-commodity small facilities — {both}"
     )
     result_obj.notes.append(
-        f"rand-omflp total cost {result.total_cost:.4f} "
-        f"(opening {result.opening_cost:.4f}, connection {result.connection_cost:.4f})"
+        f"rand-omflp total cost {payload['total_cost']:.4f} "
+        f"(opening {payload['opening_cost']:.4f}, connection {payload['connection_cost']:.4f})"
     )
     result_obj.require_rows()
     return result_obj

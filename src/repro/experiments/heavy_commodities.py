@@ -20,12 +20,13 @@ PD variants coincide; as the skew grows the heavy-aware variant keeps the
 heavy commodity out of every large facility, which restores the Condition-1
 precondition of the Theorem-4 analysis (a worst-case guarantee) at a bounded
 measured overhead on benign instances, and both variants remain far below the
-per-commodity decomposition.
+per-commodity decomposition.  One engine case per ``(skew, seed)`` workload,
+emitting the three algorithm rows from a shared instance and reference.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -39,11 +40,12 @@ from repro.costs.heavy import detect_heavy_commodities, heavy_aware_pd
 from repro.core.commodities import CommodityUniverse
 from repro.core.instance import Instance
 from repro.core.requests import Request, RequestSequence
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
 from repro.metric.factories import random_euclidean_metric
 from repro.utils.rng import RandomState, ensure_rng
 from repro.workloads.base import GeneratedWorkload
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "heavy-commodities"
 TITLE = "Closing remarks: excluding heavy commodities from the large configuration"
@@ -79,63 +81,104 @@ def _skewed_workload(
     return GeneratedWorkload(instance=instance, metadata={"heavy_weight": heavy_weight})
 
 
+@engine_task("heavy-commodities/workload")
+def skewed_workload_case(case: Dict[str, Any], rng: np.random.Generator) -> List[Dict[str, Any]]:
+    """All three algorithm variants on one skewed workload, shared reference."""
+    skew = float(case["heavy_weight"])
+    workload = _skewed_workload(
+        case["num_requests"],
+        case["num_commodities"],
+        case["num_points"],
+        skew,
+        case["seed"],
+    )
+    instance = workload.instance
+    points = list(range(instance.num_points))
+    heavy = detect_heavy_commodities(instance.cost_function, points[:4])
+    reference = reference_cost(workload, local_search_iterations=0)
+    heavy_algorithm, excluded = heavy_aware_pd(instance.cost_function, points[:4])
+    algorithms = {
+        "pd-omflp": PDOMFLPAlgorithm(),
+        "pd-omflp-heavy-excluded": heavy_algorithm,
+        "per-commodity-fotakis": PerCommodityAlgorithm("fotakis"),
+    }
+    rows: List[Dict[str, Any]] = []
+    for name, algorithm in algorithms.items():
+        result = run_online(algorithm, instance, rng=rng)
+        rows.append(
+            {
+                "heavy_weight": skew,
+                "seed": case["seed"],
+                "algorithm": name,
+                "detected_heavy": sorted(excluded) if "excluded" in name else sorted(heavy),
+                "cost": result.total_cost,
+                "reference_cost": reference.value,
+                "reference_kind": reference.kind,
+                "ratio": result.total_cost / reference.value
+                if reference.value > 0
+                else float("inf"),
+                "num_large_facilities": result.solution.num_large_facilities(),
+            }
+        )
+    return rows
+
+
+def _profile(profile: str) -> Dict[str, Any]:
+    if profile == "quick":
+        return {
+            "skews": [1.0, 16.0, 64.0],
+            "num_requests": 30,
+            "num_commodities": 6,
+            "num_points": 12,
+            "seeds": [0],
+        }
+    return {
+        "skews": [1.0, 4.0, 16.0, 64.0, 256.0],
+        "num_requests": 120,
+        "num_commodities": 10,
+        "num_points": 32,
+        "seeds": [0, 1, 2],
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    settings = _profile(profile)
+    cases: List[Dict[str, Any]] = [
+        {
+            "heavy_weight": skew,
+            "seed": workload_seed,
+            "num_requests": settings["num_requests"],
+            "num_commodities": settings["num_commodities"],
+            "num_points": settings["num_points"],
+        }
+        for skew in settings["skews"]
+        for workload_seed in settings["seeds"]
+    ]
+    return ExperimentPlan(EXPERIMENT_ID, "heavy-commodities/workload", cases, seed=seed)
+
+
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        skews = [1.0, 16.0, 64.0]
-        num_requests, num_commodities, num_points = 30, 6, 12
-        seeds = [0]
-    else:
-        skews = [1.0, 4.0, 16.0, 64.0, 256.0]
-        num_requests, num_commodities, num_points = 120, 10, 32
-        seeds = [0, 1, 2]
-
-    rows: List[dict] = []
-    for skew in skews:
-        for seed in seeds:
-            workload = _skewed_workload(num_requests, num_commodities, num_points, skew, seed)
-            instance = workload.instance
-            points = list(range(instance.num_points))
-            heavy = detect_heavy_commodities(instance.cost_function, points[:4])
-            reference = reference_cost(workload, local_search_iterations=0)
-            heavy_algorithm, excluded = heavy_aware_pd(instance.cost_function, points[:4])
-            algorithms = {
-                "pd-omflp": PDOMFLPAlgorithm(),
-                "pd-omflp-heavy-excluded": heavy_algorithm,
-                "per-commodity-fotakis": PerCommodityAlgorithm("fotakis"),
-            }
-            for name, algorithm in algorithms.items():
-                result = run_online(algorithm, instance, rng=generator)
-                rows.append(
-                    {
-                        "heavy_weight": skew,
-                        "seed": seed,
-                        "algorithm": name,
-                        "detected_heavy": sorted(excluded) if "excluded" in name else sorted(heavy),
-                        "cost": result.total_cost,
-                        "reference_cost": reference.value,
-                        "reference_kind": reference.kind,
-                        "ratio": result.total_cost / reference.value if reference.value > 0 else float("inf"),
-                        "num_large_facilities": result.solution.num_large_facilities(),
-                    }
-                )
-
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    settings = _profile(profile)
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
         parameters={
-            "skews": skews,
-            "num_requests": num_requests,
-            "num_commodities": num_commodities,
-            "seeds": seeds,
+            "skews": settings["skews"],
+            "num_requests": settings["num_requests"],
+            "num_commodities": settings["num_commodities"],
+            "seeds": settings["seeds"],
             "profile": profile,
         },
     )
+    rows = result.rows
     no_skew = [r for r in rows if r["heavy_weight"] == 1.0]
     plain = {r["seed"]: r["cost"] for r in no_skew if r["algorithm"] == "pd-omflp"}
     excluded_variant = {
@@ -146,7 +189,7 @@ def run(
         f"with uniform service sizes no commodity is detected as heavy and the two PD variants "
         f"coincide: {agree}"
     )
-    largest_skew = max(skews)
+    largest_skew = max(settings["skews"])
     at_largest = [r for r in rows if r["heavy_weight"] == largest_skew]
     mean = lambda name: float(
         np.mean([r["cost"] for r in at_largest if r["algorithm"] == name])

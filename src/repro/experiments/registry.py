@@ -8,10 +8,11 @@ with ``EXPERIMENTS.add("my-id", my_run)`` and the CLI picks them up.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.analysis.runner import ExperimentResult
 from repro.api.registry import Registry
+from repro.engine.store import ResultStore
 from repro.exceptions import ExperimentError, UnknownComponentError
 from repro.experiments import (
     arrival_order,
@@ -71,8 +72,19 @@ def run_experiment(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``workers`` and ``store`` flow into the experiment's engine plan:
+    cases scatter over that many worker processes (bit-identical to serial),
+    and previously computed cases are reused from the result store.
+    """
     if profile not in ("quick", "full"):
         raise ExperimentError(f"profile must be 'quick' or 'full', got {profile!r}")
-    return get_experiment(experiment_id)(profile=profile, rng=rng, workers=workers)
+    kwargs = {"profile": profile, "rng": rng, "workers": workers}
+    if store is not None:
+        # Passed only when set, so externally registered experiments that
+        # predate the engine's store keyword keep working.
+        kwargs["store"] = store
+    return get_experiment(experiment_id)(**kwargs)

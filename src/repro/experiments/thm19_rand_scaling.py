@@ -6,98 +6,119 @@ deterministic Theorem-4 bound.  This experiment repeats the Theorem-4 sweeps
 for the randomized algorithm (averaging over seeds, since the guarantee is in
 expectation), fits the same growth shapes, and additionally reports the
 head-to-head cost ratio RAND / PD on identical workloads.
+
+The sweep cells reuse the shared ``omflp/scaling-cell`` engine task of the
+Theorem-4 experiment; the head-to-head comparisons are their own task kind,
+appended to the same plan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
-from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
-from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+import numpy as np
+
 from repro.analysis.competitive import measure_competitive_ratio, reference_cost
 from repro.analysis.runner import ExperimentResult
-from repro.experiments.thm4_pd_scaling import append_scaling_notes, scaling_rows
-from repro.utils.rng import RandomState, ensure_rng
+from repro.api.components import ALGORITHMS
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
+from repro.experiments import thm4_pd_scaling
+from repro.experiments.thm4_pd_scaling import append_scaling_notes, scaling_cases
+from repro.utils.rng import RandomState
 from repro.workloads.clustered import clustered_workload
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "thm19-rand-scaling"
 TITLE = "Theorem 19: RAND-OMFLP competitive-ratio scaling and RAND vs PD comparison"
+
+
+@engine_task("thm19-rand-scaling/head-to-head")
+def head_to_head_cell(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """RAND vs PD on one identical clustered workload."""
+    n = case["num_requests"]
+    s = case["num_commodities"]
+    workload = clustered_workload(
+        num_requests=n, num_commodities=s, num_clusters=max(2, s // 4), rng=12345 + n + s
+    )
+    reference = reference_cost(workload, local_search_iterations=0)
+    pd = measure_competitive_ratio(
+        ALGORITHMS.build("pd-omflp"), workload, reference=reference, rng=rng
+    )
+    rand = measure_competitive_ratio(
+        ALGORITHMS.build("rand-omflp"),
+        workload,
+        reference=reference,
+        repeats=case["repeats"],
+        rng=rng,
+    )
+    ratio = rand.mean_cost / pd.mean_cost if pd.mean_cost > 0 else float("inf")
+    return {
+        "sweep": "head-to-head",
+        "num_requests": n,
+        "num_commodities": s,
+        "seed": -1,
+        "algorithm": "rand/pd",
+        "cost": rand.mean_cost,
+        "reference_cost": pd.mean_cost,
+        "reference_kind": "pd-omflp-cost",
+        "ratio": ratio,
+    }
+
+
+def _profile(profile: str) -> Dict[str, Any]:
+    # The sweeps deliberately repeat the Theorem-4 grid (head-to-head
+    # comparability), so the sizes come from that experiment's profile.
+    sizes = thm4_pd_scaling._profile(profile)
+    if profile == "quick":
+        return {"sizes": sizes, "repeats": 3, "head_to_head_points": [(40, 8), (80, 16)]}
+    return {
+        "sizes": sizes,
+        "repeats": 7,
+        "head_to_head_points": [(100, 8), (200, 16), (400, 32), (800, 64)],
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    settings = _profile(profile)
+    cases: List[Dict[str, Any]] = scaling_cases(
+        "rand-omflp", repeats=settings["repeats"], **settings["sizes"]
+    )
+    for n, s in settings["head_to_head_points"]:
+        cases.append(
+            {
+                "task": "thm19-rand-scaling/head-to-head",
+                "num_requests": n,
+                "num_commodities": s,
+                "repeats": settings["repeats"],
+            }
+        )
+    return ExperimentPlan(EXPERIMENT_ID, "omflp/scaling-cell", cases, seed=seed)
 
 
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        n_sweep, s_sweep = [20, 40, 80], [4, 8, 16]
-        fixed_s, fixed_n = 8, 40
-        seeds = [0, 1]
-        repeats = 3
-        head_to_head_points = [(40, 8), (80, 16)]
-    else:
-        n_sweep, s_sweep = [50, 100, 200, 400, 800], [4, 8, 16, 32, 64]
-        fixed_s, fixed_n = 16, 200
-        seeds = [0, 1, 2, 3, 4]
-        repeats = 7
-        head_to_head_points = [(100, 8), (200, 16), (400, 32), (800, 64)]
-
-    rows = scaling_rows(
-        RandOMFLPAlgorithm,
-        n_sweep=n_sweep,
-        s_sweep=s_sweep,
-        fixed_s=fixed_s,
-        fixed_n=fixed_n,
-        seeds=seeds,
-        rng=generator,
-        repeats=repeats,
-    )
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    settings = _profile(profile)
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
         parameters={
-            "n_sweep": n_sweep,
-            "s_sweep": s_sweep,
-            "fixed_s": fixed_s,
-            "fixed_n": fixed_n,
-            "seeds": seeds,
-            "repeats": repeats,
+            **settings["sizes"],
+            "repeats": settings["repeats"],
             "profile": profile,
         },
     )
-    append_scaling_notes(result, rows, "rand-omflp")
+    sweep_rows = [row for row in result.rows if row["sweep"] != "head-to-head"]
+    append_scaling_notes(result, sweep_rows, "rand-omflp")
 
-    # Head-to-head RAND vs PD on identical workloads.
-    comparisons: List[float] = []
-    for n, s in head_to_head_points:
-        workload = clustered_workload(
-            num_requests=n, num_commodities=s, num_clusters=max(2, s // 4), rng=12345 + n + s
-        )
-        reference = reference_cost(workload, local_search_iterations=0)
-        pd = measure_competitive_ratio(
-            PDOMFLPAlgorithm(), workload, reference=reference, rng=generator
-        )
-        rand = measure_competitive_ratio(
-            RandOMFLPAlgorithm(), workload, reference=reference, repeats=repeats, rng=generator
-        )
-        comparisons.append(rand.mean_cost / pd.mean_cost if pd.mean_cost > 0 else float("inf"))
-        result.rows.append(
-            {
-                "sweep": "head-to-head",
-                "num_requests": n,
-                "num_commodities": s,
-                "seed": -1,
-                "algorithm": "rand/pd",
-                "cost": rand.mean_cost,
-                "reference_cost": pd.mean_cost,
-                "reference_kind": "pd-omflp-cost",
-                "ratio": comparisons[-1],
-            }
-        )
+    comparisons = [row["ratio"] for row in result.rows if row["sweep"] == "head-to-head"]
     if comparisons:
         mean_comparison = sum(comparisons) / len(comparisons)
         result.notes.append(

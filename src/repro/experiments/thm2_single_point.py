@@ -11,93 +11,76 @@ ratio in ``|S|``.  The paper predicts:
   paying Θ(|S|) would land when the whole commodity set keeps being asked).
 
 The experiment also emits the Figure-1 round transcript of one PD-OMFLP game.
+Cases are declared as a ``|S| × algorithm`` grid on the experiment engine
+(plus one Figure-1 trace task); each case owns a private RNG child stream.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.algorithms.online.no_prediction import NoPredictionGreedy
-from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
-from repro.algorithms.online.per_commodity import PerCommodityAlgorithm
-from repro.algorithms.online.rand_omflp import RandOMFLPAlgorithm
+import numpy as np
+
 from repro.analysis.regression import fit_power_law
 from repro.analysis.runner import ExperimentResult
+from repro.api.components import ALGORITHMS
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
 from repro.lowerbound.single_point import (
     predicted_single_point_ratio,
     run_single_point_game,
 )
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState
 
-__all__ = ["run", "EXPERIMENT_ID"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID"]
 
 EXPERIMENT_ID = "thm2-single-point"
 TITLE = "Theorem 2 / Figure 1: single-point adversary, ratio vs sqrt(|S|)"
 
+ALGORITHM_NAMES = (
+    "pd-omflp",
+    "rand-omflp",
+    "no-prediction-greedy",
+    "per-commodity-fotakis",
+)
 
-def _algorithm_factories() -> Dict[str, Callable[[], object]]:
+
+@engine_task("thm2-single-point/game")
+def game_case(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """Play the Theorem-2 game for one ``(|S|, algorithm)`` grid point."""
+    num_commodities = case["num_commodities"]
+    game = run_single_point_game(
+        ALGORITHMS.build(case["algorithm"]),
+        num_commodities,
+        repeats=case["repeats"],
+        rng=rng,
+    )
     return {
-        "pd-omflp": PDOMFLPAlgorithm,
-        "rand-omflp": RandOMFLPAlgorithm,
-        "no-prediction-greedy": NoPredictionGreedy,
-        "per-commodity-fotakis": lambda: PerCommodityAlgorithm("fotakis"),
+        "num_commodities": num_commodities,
+        "algorithm": case["algorithm"],
+        "mean_cost": game.algorithm_cost,
+        "opt_cost": game.opt_cost,
+        "ratio": game.ratio,
+        "predicted_sqrt_S": predicted_single_point_ratio(num_commodities),
+        "num_facilities": game.num_facilities,
+        "rounds": game.num_rounds,
     }
 
 
-def run(
-    profile: str = "quick",
-    rng: RandomState = None,
-    workers: int = 1,
-) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        sizes = [16, 64, 144]
-        repeats = 3
-    else:
-        sizes = [16, 64, 256, 1024, 4096]
-        repeats = 10
-
-    rows: List[dict] = []
-    ratios_by_algorithm: Dict[str, List[float]] = {}
-    for num_commodities in sizes:
-        for name, factory in _algorithm_factories().items():
-            game = run_single_point_game(
-                factory(), num_commodities, repeats=repeats, rng=generator
-            )
-            rows.append(
-                {
-                    "num_commodities": num_commodities,
-                    "algorithm": name,
-                    "mean_cost": game.algorithm_cost,
-                    "opt_cost": game.opt_cost,
-                    "ratio": game.ratio,
-                    "predicted_sqrt_S": predicted_single_point_ratio(num_commodities),
-                    "num_facilities": game.num_facilities,
-                    "rounds": game.num_rounds,
-                }
-            )
-            ratios_by_algorithm.setdefault(name, []).append(game.ratio)
-
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        parameters={"sizes": sizes, "repeats": repeats, "profile": profile},
-    )
-    for name, ratios in ratios_by_algorithm.items():
-        fit = fit_power_law(sizes, ratios)
-        result.notes.append(
-            f"{name}: ratio grows like |S|^{fit.exponent:.3f} "
-            f"(paper lower bound: exponent >= 0.5; R^2 = {fit.r_squared:.3f})"
-        )
-
-    # Figure 1: round transcript of one deterministic game.
+@engine_task("thm2-single-point/figure1")
+def figure1_case(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """The Figure-1 round transcript of one deterministic PD-OMFLP game."""
+    num_commodities = case["num_commodities"]
     trace_game = run_single_point_game(
-        PDOMFLPAlgorithm(), sizes[-1], repeats=1, rng=generator, keep_rounds=True
+        ALGORITHMS.build(case["algorithm"]),
+        num_commodities,
+        repeats=1,
+        rng=rng,
+        keep_rounds=True,
     )
     lines = [
-        "Figure 1 (executable): rounds of the single-point game for pd-omflp, "
-        f"|S| = {sizes[-1]}, |S'| = {trace_game.subset_size}"
+        "Figure 1 (executable): rounds of the single-point game for "
+        f"{case['algorithm']}, |S| = {num_commodities}, "
+        f"|S'| = {trace_game.subset_size}"
     ]
     for game_round in trace_game.rounds:
         lines.append(
@@ -110,6 +93,63 @@ def run(
         f"  -> {trace_game.num_rounds} rounds, {trace_game.total_predicted} commodities covered "
         f"in total, algorithm cost {trace_game.algorithm_cost:.3f}, OPT {trace_game.opt_cost:.3f}"
     )
-    result.extra_text = "\n".join(lines)
+    return {"extra_text": "\n".join(lines)}
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    """The ``|S| × algorithm`` case grid plus the trailing Figure-1 trace case."""
+    if profile == "quick":
+        sizes = [16, 64, 144]
+        repeats = 3
+    else:
+        sizes = [16, 64, 256, 1024, 4096]
+        repeats = 10
+    cases: List[Dict[str, Any]] = [
+        {"num_commodities": size, "algorithm": name, "repeats": repeats}
+        for size in sizes
+        for name in ALGORITHM_NAMES
+    ]
+    cases.append(
+        {
+            "task": "thm2-single-point/figure1",
+            "num_commodities": sizes[-1],
+            "algorithm": "pd-omflp",
+        }
+    )
+    return ExperimentPlan(EXPERIMENT_ID, "thm2-single-point/game", cases, seed=seed)
+
+
+def run(
+    profile: str = "quick",
+    rng: RandomState = None,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+) -> ExperimentResult:
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    *game_results, figure = outcome.results
+    rows = [result.row for result in game_results]
+    sizes = sorted({row["num_commodities"] for row in rows})
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        parameters={
+            "sizes": sizes,
+            "repeats": plan.cases[0]["repeats"],
+            "profile": profile,
+        },
+    )
+    ratios_by_algorithm: Dict[str, List[float]] = {}
+    for row in rows:
+        ratios_by_algorithm.setdefault(row["algorithm"], []).append(row["ratio"])
+    for name, ratios in ratios_by_algorithm.items():
+        fit = fit_power_law(sizes, ratios)
+        result.notes.append(
+            f"{name}: ratio grows like |S|^{fit.exponent:.3f} "
+            f"(paper lower bound: exponent >= 0.5; R^2 = {fit.r_squared:.3f})"
+        )
+    result.extra_text = figure.row["extra_text"]
     result.require_rows()
     return result

@@ -13,89 +13,111 @@ Two sweeps on clustered workloads (the structure OPT exploits):
 Offline reference: exact brute force where affordable, otherwise the best of
 the planted, greedy and local-search solutions (an upper bound on OPT, so the
 reported ratios are conservative over-estimates — see DESIGN.md §1).
+
+The sweep cells are declared through :func:`scaling_cases` (shared with the
+Theorem-19 experiment) and executed as one engine plan — one
+``(sweep, size, workload seed)`` cell per task.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
+import numpy as np
+
 from repro.analysis.competitive import measure_competitive_ratio, reference_cost
 from repro.analysis.regression import fit_log_growth, fit_power_law
 from repro.analysis.runner import ExperimentResult
-from repro.utils.rng import RandomState, ensure_rng
+from repro.api.components import ALGORITHMS
+from repro.engine import ExperimentPlan, ResultStore, engine_task, run_plan
+from repro.utils.rng import RandomState
 from repro.workloads.clustered import clustered_workload
 
-__all__ = ["run", "EXPERIMENT_ID", "scaling_rows"]
+__all__ = ["run", "build_plan", "EXPERIMENT_ID", "scaling_cases", "append_scaling_notes"]
 
 EXPERIMENT_ID = "thm4-pd-scaling"
 TITLE = "Theorem 4: PD-OMFLP competitive-ratio scaling in n and |S|"
 
 
-def scaling_rows(
-    algorithm_factory,
+@engine_task("omflp/scaling-cell")
+def scaling_cell(case: Dict[str, Any], rng: np.random.Generator) -> Dict[str, Any]:
+    """Measure one sweep cell: a clustered workload against one algorithm.
+
+    Shared by the Theorem-4 (PD) and Theorem-19 (RAND) experiments; the case
+    names the algorithm by registry key, so the cell is plain data.
+    """
+    num_requests = case["num_requests"]
+    num_commodities = case["num_commodities"]
+    workload = clustered_workload(
+        num_requests=num_requests,
+        num_commodities=num_commodities,
+        num_clusters=max(2, num_commodities // 4),
+        rng=case["workload_seed"],
+    )
+    reference = reference_cost(workload, local_search_iterations=0)
+    measurement = measure_competitive_ratio(
+        ALGORITHMS.build(case["algorithm"]),
+        workload,
+        reference=reference,
+        repeats=case.get("repeats", 1),
+        rng=rng,
+    )
+    return {
+        "sweep": case["sweep"],
+        "num_requests": num_requests,
+        "num_commodities": num_commodities,
+        "seed": case["seed"],
+        "algorithm": measurement.algorithm,
+        "cost": measurement.mean_cost,
+        "reference_cost": reference.value,
+        "reference_kind": reference.kind,
+        "ratio": measurement.ratio,
+    }
+
+
+def scaling_cases(
+    algorithm: str,
     *,
     n_sweep: List[int],
     s_sweep: List[int],
     fixed_s: int,
     fixed_n: int,
     seeds: List[int],
-    rng,
     repeats: int = 1,
-) -> List[dict]:
-    """Shared sweep driver (also used by the Theorem-19 experiment)."""
-    rows: List[dict] = []
+) -> List[Dict[str, Any]]:
+    """The declarative n-sweep + S-sweep case grid (also used by Theorem 19).
+
+    The S-sweep offsets its workload seeds by 1000 so the two sweeps never
+    share instances (the convention of the original hand-rolled loops).
+    """
+    cases: List[Dict[str, Any]] = []
     for n in n_sweep:
         for seed in seeds:
-            workload = clustered_workload(
-                num_requests=n,
-                num_commodities=fixed_s,
-                num_clusters=max(2, fixed_s // 4),
-                rng=seed,
-            )
-            reference = reference_cost(workload, local_search_iterations=0)
-            measurement = measure_competitive_ratio(
-                algorithm_factory(), workload, reference=reference, repeats=repeats, rng=rng
-            )
-            rows.append(
+            cases.append(
                 {
                     "sweep": "n",
                     "num_requests": n,
                     "num_commodities": fixed_s,
                     "seed": seed,
-                    "algorithm": measurement.algorithm,
-                    "cost": measurement.mean_cost,
-                    "reference_cost": reference.value,
-                    "reference_kind": reference.kind,
-                    "ratio": measurement.ratio,
+                    "workload_seed": seed,
+                    "algorithm": algorithm,
+                    "repeats": repeats,
                 }
             )
     for s in s_sweep:
         for seed in seeds:
-            workload = clustered_workload(
-                num_requests=fixed_n,
-                num_commodities=s,
-                num_clusters=max(2, s // 4),
-                rng=seed + 1000,
-            )
-            reference = reference_cost(workload, local_search_iterations=0)
-            measurement = measure_competitive_ratio(
-                algorithm_factory(), workload, reference=reference, repeats=repeats, rng=rng
-            )
-            rows.append(
+            cases.append(
                 {
                     "sweep": "S",
                     "num_requests": fixed_n,
                     "num_commodities": s,
                     "seed": seed,
-                    "algorithm": measurement.algorithm,
-                    "cost": measurement.mean_cost,
-                    "reference_cost": reference.value,
-                    "reference_kind": reference.kind,
-                    "ratio": measurement.ratio,
+                    "workload_seed": seed + 1000,
+                    "algorithm": algorithm,
+                    "repeats": repeats,
                 }
             )
-    return rows
+    return cases
 
 
 def _mean_ratio_by(rows: List[dict], sweep: str, key: str) -> Dict[int, float]:
@@ -125,43 +147,45 @@ def append_scaling_notes(result: ExperimentResult, rows: List[dict], algorithm: 
         )
 
 
+def _profile(profile: str) -> Dict[str, Any]:
+    if profile == "quick":
+        return {
+            "n_sweep": [20, 40, 80],
+            "s_sweep": [4, 8, 16],
+            "fixed_s": 8,
+            "fixed_n": 40,
+            "seeds": [0, 1],
+        }
+    return {
+        "n_sweep": [50, 100, 200, 400, 800],
+        "s_sweep": [4, 8, 16, 32, 64],
+        "fixed_s": 16,
+        "fixed_n": 200,
+        "seeds": [0, 1, 2, 3, 4],
+    }
+
+
+def build_plan(profile: str = "quick", seed: RandomState = 0) -> ExperimentPlan:
+    sizes = _profile(profile)
+    cases = scaling_cases("pd-omflp", **sizes)
+    return ExperimentPlan(EXPERIMENT_ID, "omflp/scaling-cell", cases, seed=seed)
+
+
 def run(
     profile: str = "quick",
     rng: RandomState = None,
     workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
-    generator = ensure_rng(rng)
-    if profile == "quick":
-        n_sweep, s_sweep = [20, 40, 80], [4, 8, 16]
-        fixed_s, fixed_n = 8, 40
-        seeds = [0, 1]
-    else:
-        n_sweep, s_sweep = [50, 100, 200, 400, 800], [4, 8, 16, 32, 64]
-        fixed_s, fixed_n = 16, 200
-        seeds = [0, 1, 2, 3, 4]
-
-    rows = scaling_rows(
-        PDOMFLPAlgorithm,
-        n_sweep=n_sweep,
-        s_sweep=s_sweep,
-        fixed_s=fixed_s,
-        fixed_n=fixed_n,
-        seeds=seeds,
-        rng=generator,
+    sizes = _profile(profile)
+    plan = build_plan(profile, seed=rng)
+    outcome = run_plan(plan, workers=workers, store=store)
+    result = ExperimentResult.from_plan_result(
+        EXPERIMENT_ID,
+        TITLE,
+        outcome,
+        parameters={**sizes, "profile": profile},
     )
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        parameters={
-            "n_sweep": n_sweep,
-            "s_sweep": s_sweep,
-            "fixed_s": fixed_s,
-            "fixed_n": fixed_n,
-            "seeds": seeds,
-            "profile": profile,
-        },
-    )
-    append_scaling_notes(result, rows, "pd-omflp")
+    append_scaling_notes(result, result.rows, "pd-omflp")
     result.require_rows()
     return result

@@ -7,9 +7,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ParallelTaskError
 
-__all__ = ["ParallelConfig", "parallel_map", "scatter_gather"]
+__all__ = ["ParallelConfig", "ParallelTaskError", "parallel_map", "scatter_gather"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -45,8 +45,27 @@ class ParallelConfig:
         return int(self.workers)
 
 
-def _apply_chunk(function: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
-    return [function(item) for item in chunk]
+def _short_repr(item: object, limit: int = 200) -> str:
+    text = repr(item)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _apply_chunk(function: Callable[[T], R], start_index: int, chunk: Sequence[T]) -> List[R]:
+    """Worker-side chunk loop; failures name the item, not just the pool."""
+    results: List[R] = []
+    for offset, item in enumerate(chunk):
+        try:
+            results.append(function(item))
+        except ParallelTaskError:
+            raise  # already carries item identity (e.g. from a nested map)
+        except Exception as error:
+            raise ParallelTaskError(
+                f"parallel_map item {start_index + offset} "
+                f"({_short_repr(item)}) failed: {type(error).__name__}: {error}",
+                item_index=start_index + offset,
+                item_repr=_short_repr(item),
+            ) from error
+    return results
 
 
 def parallel_map(
@@ -77,9 +96,12 @@ def parallel_map(
         chunk_size = max(1, -(-len(item_list) // (4 * workers)))
     chunks = [item_list[i : i + chunk_size] for i in range(0, len(item_list), chunk_size)]
 
+    starts = [i * chunk_size for i in range(len(chunks))]
     results: List[R] = []
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        for chunk_result in executor.map(_apply_chunk, [function] * len(chunks), chunks):
+        for chunk_result in executor.map(
+            _apply_chunk, [function] * len(chunks), starts, chunks
+        ):
             results.extend(chunk_result)
     return results
 

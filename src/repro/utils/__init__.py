@@ -29,7 +29,7 @@ from repro.utils.maths import (
     round_up_power_of_two,
     safe_log,
 )
-from repro.utils.rng import child_rngs, ensure_rng, spawn_seeds
+from repro.utils.rng import child_rngs, ensure_rng, spawn_child_seeds, spawn_seeds
 from repro.utils.timing import Stopwatch, TimingRecord
 from repro.utils.validation import (
     check_in_range,
@@ -47,6 +47,7 @@ __all__ = [
     "safe_log",
     "ensure_rng",
     "child_rngs",
+    "spawn_child_seeds",
     "spawn_seeds",
     "Stopwatch",
     "TimingRecord",

@@ -17,6 +17,7 @@ import numpy as np
 
 __all__ = [
     "ensure_rng",
+    "spawn_child_seeds",
     "spawn_seeds",
     "child_rngs",
     "rng_state",
@@ -97,27 +98,53 @@ def rng_from_state(state: Dict[str, Any]) -> np.random.Generator:
     return np.random.Generator(bit_generator)
 
 
-def spawn_seeds(seed: RandomState, count: int) -> list[int]:
-    """Derive ``count`` independent 63-bit integer seeds from ``seed``.
+def spawn_child_seeds(seed: RandomState, count: int) -> list[int]:
+    """Derive ``count`` independent 63-bit integer child seeds from ``seed``.
 
     The derivation uses :class:`numpy.random.SeedSequence` spawning, which
     guarantees statistically independent child streams; passing the same
-    ``seed`` always yields the same list, which is what makes parallel sweeps
-    reproducible regardless of worker scheduling.
+    ``seed`` always yields the same list, which is what makes parallel task
+    execution reproducible regardless of worker count or scheduling.  The
+    engine (:mod:`repro.engine`) seeds one child stream per task, so shard
+    boundaries never shift results.
+
+    Because each call spawns from a *fresh* sequence, the list is
+    prefix-stable: ``spawn_child_seeds(s, n)[:k] == spawn_child_seeds(s, k)``
+    for any ``k <= n`` — growing a case grid keeps the seeds of existing
+    cases (and therefore their content-addressed store entries) unchanged.
     """
     if count < 0:
-        raise ValueError(f"spawn_seeds requires count >= 0, got {count}")
+        raise ValueError(f"spawn_child_seeds requires count >= 0, got {count}")
     if isinstance(seed, np.random.Generator):
         # Derive a stable entropy source from the generator without consuming
         # much of its stream: a single 64-bit draw.
         entropy = int(seed.integers(0, 2**63 - 1))
         sequence = np.random.SeedSequence(entropy)
     elif isinstance(seed, np.random.SeedSequence):
-        sequence = seed
+        # Spawn from a pristine clone: SeedSequence.spawn() advances the
+        # parent's spawn counter, which would make a second call with the
+        # same object yield different children and break the determinism
+        # and prefix-stability promises above.
+        sequence = np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key
+        )
     else:
         sequence = np.random.SeedSequence(seed)
     children = sequence.spawn(count)
     return [int(child.generate_state(1, dtype=np.uint64)[0] % (2**63 - 1)) for child in children]
+
+
+def spawn_seeds(seed: RandomState, count: int) -> list[int]:
+    """Alias of :func:`spawn_child_seeds`, kept for existing callers.
+
+    Note one deliberate semantic change for ``SeedSequence`` inputs: calls no
+    longer advance the sequence's spawn counter, so repeated calls with the
+    same object return the *same* list (previously each call returned a
+    fresh batch).  Derive distinct batches from distinct root seeds — or
+    spawn child ``SeedSequence`` objects yourself — rather than relying on
+    hidden counter state.
+    """
+    return spawn_child_seeds(seed, count)
 
 
 def child_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:

@@ -1,0 +1,382 @@
+"""Tests for the parallel experiment engine: plans, tasks, store, executor."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import ParameterGrid, run_sweep
+from repro.engine import (
+    EngineTask,
+    ExperimentPlan,
+    ResultStore,
+    TASKS,
+    engine_task,
+    grid_cases,
+    run_plan,
+)
+from repro.engine.executor import execute_task
+from repro.exceptions import EngineError, ParallelTaskError, UnknownComponentError
+from repro.parallel.pool import ParallelConfig
+from repro.utils.rng import spawn_child_seeds
+
+
+# ----------------------------------------------------------------------
+# Module-level task functions (picklable across the process pool).
+# ----------------------------------------------------------------------
+@engine_task("test-engine/draw")
+def _draw_task(case, rng):
+    return {"case_id": case["case_id"], "draw": float(rng.random())}
+
+
+@engine_task("test-engine/multi-row")
+def _multi_row_task(case, rng):
+    return [{"i": i, "value": case["base"] + i} for i in range(case["count"])]
+
+
+@engine_task("test-engine/special-floats")
+def _special_floats_task(case, rng):
+    return {"nan": float("nan"), "inf": float("inf"), "ninf": float("-inf"), "pi": math.pi}
+
+
+@engine_task("test-engine/boom")
+def _boom_task(case, rng):
+    if case.get("explode"):
+        raise ValueError(f"boom on {case['case_id']}")
+    return {"case_id": case["case_id"]}
+
+
+def _callable_task(case, rng):
+    return {"case_id": case["case_id"], "draw": float(rng.random())}
+
+
+class TestSpawnChildSeeds:
+    def test_deterministic(self):
+        assert spawn_child_seeds(7, 5) == spawn_child_seeds(7, 5)
+
+    def test_distinct_across_seeds_and_indices(self):
+        seeds = spawn_child_seeds(0, 64)
+        assert len(set(seeds)) == 64
+        assert spawn_child_seeds(0, 8) != spawn_child_seeds(1, 8)
+
+    def test_prefix_stable(self):
+        # Growing a case grid must keep the seeds of existing cases.
+        assert spawn_child_seeds(3, 10)[:4] == spawn_child_seeds(3, 4)
+
+    def test_range_and_types(self):
+        for seed in spawn_child_seeds(11, 16):
+            assert isinstance(seed, int)
+            assert 0 <= seed < 2**63 - 1
+
+    def test_zero_count_and_negative(self):
+        assert spawn_child_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_child_seeds(0, -1)
+
+    def test_generator_input_accepted(self):
+        seeds = spawn_child_seeds(np.random.default_rng(5), 3)
+        assert len(seeds) == 3
+
+    def test_seed_sequence_input_is_not_mutated(self):
+        # spawn() advances a SeedSequence's spawn counter; the helper must
+        # clone so repeated calls with the same object stay deterministic
+        # (otherwise a re-run against the same ResultStore reuses nothing).
+        sequence = np.random.SeedSequence(5)
+        first = spawn_child_seeds(sequence, 4)
+        assert spawn_child_seeds(sequence, 4) == first
+        assert sequence.n_children_spawned == 0
+
+
+class TestExperimentPlan:
+    def test_tasks_carry_prefix_stable_child_seeds(self):
+        cases = [{"case_id": i} for i in range(6)]
+        plan = ExperimentPlan("p", "test-engine/draw", cases, seed=9)
+        tasks = plan.tasks()
+        assert [t.seed for t in tasks] == spawn_child_seeds(9, 6)
+        assert [t.index for t in tasks] == list(range(6))
+        # Stable across calls (the root seed is normalized once).
+        assert [t.seed for t in plan.tasks()] == [t.seed for t in tasks]
+
+    def test_generator_root_seed_normalized_once(self):
+        plan = ExperimentPlan(
+            "p", "test-engine/draw", [{"case_id": 0}], seed=np.random.default_rng(0)
+        )
+        assert isinstance(plan.seed, int)
+        assert plan.tasks()[0].seed == plan.tasks()[0].seed
+
+    def test_case_level_task_override(self):
+        plan = ExperimentPlan(
+            "p",
+            "test-engine/draw",
+            [{"case_id": 0}, {"task": "test-engine/multi-row", "base": 10, "count": 2}],
+            seed=0,
+        )
+        kinds = [t.task for t in plan.tasks()]
+        assert kinds == ["test-engine/draw", "test-engine/multi-row"]
+        # The reserved key is stripped from the case handed to the function.
+        assert "task" not in plan.tasks()[1].case
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(EngineError):
+            ExperimentPlan("p", "test-engine/draw", [])
+
+    def test_from_grid_merges_base(self):
+        plan = ExperimentPlan.from_grid(
+            "p",
+            "test-engine/draw",
+            ParameterGrid({"a": [1, 2], "b": [3]}),
+            base={"common": True},
+            seed=0,
+        )
+        assert plan.cases == [
+            {"common": True, "a": 1, "b": 3},
+            {"common": True, "a": 2, "b": 3},
+        ]
+
+    def test_grid_cases_point_wins_over_base(self):
+        assert grid_cases([{"a": 1}], base={"a": 0, "b": 2}) == [{"a": 1, "b": 2}]
+
+
+class TestTaskIdentity:
+    def test_key_is_stable_and_sensitive(self):
+        task = EngineTask(0, "test-engine/draw", {"case_id": 1}, seed=5)
+        same = EngineTask(3, "test-engine/draw", {"case_id": 1}, seed=5)
+        assert task.key() == same.key()  # position does not affect identity
+        assert task.key() != EngineTask(0, "test-engine/draw", {"case_id": 2}, 5).key()
+        assert task.key() != EngineTask(0, "test-engine/draw", {"case_id": 1}, 6).key()
+        assert task.key() != EngineTask(0, "test-engine/other", {"case_id": 1}, 5).key()
+
+    def test_callable_tasks_are_not_storable(self):
+        task = EngineTask(0, _callable_task, {"case_id": 1}, seed=5)
+        assert not task.storable()
+        with pytest.raises(EngineError):
+            task.key()
+
+    def test_non_json_case_is_not_storable(self):
+        task = EngineTask(0, "test-engine/draw", {"case_id": object()}, seed=5)
+        assert not task.storable()
+
+    def test_unknown_task_name_raises_with_suggestions(self):
+        with pytest.raises(UnknownComponentError):
+            execute_task(("test-engine/drww", {"case_id": 0}, 0))
+
+
+class TestRunPlan:
+    def test_rows_in_case_order(self):
+        plan = ExperimentPlan(
+            "p", "test-engine/draw", [{"case_id": i} for i in range(10)], seed=0
+        )
+        outcome = run_plan(plan)
+        assert [row["case_id"] for row in outcome.rows] == list(range(10))
+        assert len(outcome) == 10
+        assert outcome.computed_count == 10 and outcome.reused_count == 0
+
+    def test_parallel_equals_serial_through_the_pool(self):
+        cases = [{"case_id": i} for i in range(12)]
+        plan = ExperimentPlan("p", "test-engine/draw", cases, seed=42)
+        serial = run_plan(plan, workers=1)
+        pooled = run_plan(
+            plan, config=ParallelConfig(workers=2, chunk_size=3, min_items_for_parallel=2)
+        )
+        assert serial.rows == pooled.rows
+
+    def test_multi_row_tasks_flatten_in_order(self):
+        plan = ExperimentPlan(
+            "p",
+            "test-engine/multi-row",
+            [{"base": 10, "count": 2}, {"base": 20, "count": 3}],
+            seed=0,
+        )
+        outcome = run_plan(plan)
+        assert [row["value"] for row in outcome.rows] == [10, 11, 20, 21, 22]
+        with pytest.raises(EngineError):
+            outcome.results[0].row  # .row demands exactly one row
+
+    def test_callable_tasks_run_in_process(self):
+        plan = ExperimentPlan("p", _callable_task, [{"case_id": 7}], seed=1)
+        assert run_plan(plan).rows[0]["case_id"] == 7
+
+    def test_failing_case_surfaces_item_identity(self):
+        plan = ExperimentPlan(
+            "p",
+            "test-engine/boom",
+            [{"case_id": 0}, {"case_id": 1, "explode": True}, {"case_id": 2}],
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="boom on 1"):
+            run_plan(plan)  # serial: original exception propagates
+        with pytest.raises(ParallelTaskError, match="item 1"):
+            run_plan(
+                plan,
+                config=ParallelConfig(workers=2, chunk_size=1, min_items_for_parallel=2),
+            )
+
+    def test_bad_task_output_rejected(self):
+        plan = ExperimentPlan("p", lambda case, rng: 42, [{"case_id": 0}], seed=0)
+        with pytest.raises(EngineError):
+            run_plan(plan)
+
+
+class TestResultStore:
+    def test_round_trip_and_reuse(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = ExperimentPlan(
+            "p", "test-engine/draw", [{"case_id": i} for i in range(5)], seed=3
+        )
+        first = run_plan(plan, store=store)
+        assert first.reused_count == 0
+        assert store.writes == 5 and len(store) == 5
+
+        second = run_plan(plan, store=store)
+        assert second.reused_count == 5 and second.computed_count == 0
+        assert second.rows == first.rows
+        # Column order must survive the disk round-trip too (dict == ignores
+        # it, but tables and CSV headers do not).
+        assert [list(row) for row in second.rows] == [list(row) for row in first.rows]
+        # Reused results keep the original compute-time provenance.
+        assert [r.runtime_seconds for r in second.results] == [
+            r.runtime_seconds for r in first.results
+        ]
+
+    def test_growing_the_grid_reuses_the_prefix(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        small = ExperimentPlan(
+            "p", "test-engine/draw", [{"case_id": i} for i in range(3)], seed=3
+        )
+        run_plan(small, store=store)
+        grown = ExperimentPlan(
+            "p", "test-engine/draw", [{"case_id": i} for i in range(5)], seed=3
+        )
+        outcome = run_plan(grown, store=store)
+        # Child seeds are prefix-stable, so the first three cases are hits.
+        assert outcome.reused_count == 3 and outcome.computed_count == 2
+
+    def test_different_seed_or_case_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_plan(
+            ExperimentPlan("p", "test-engine/draw", [{"case_id": 0}], seed=1), store=store
+        )
+        other_seed = run_plan(
+            ExperimentPlan("p", "test-engine/draw", [{"case_id": 0}], seed=2), store=store
+        )
+        other_case = run_plan(
+            ExperimentPlan("p", "test-engine/draw", [{"case_id": 9}], seed=1), store=store
+        )
+        assert other_seed.reused_count == 0 and other_case.reused_count == 0
+
+    def test_special_floats_round_trip_strict_json(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = ExperimentPlan("p", "test-engine/special-floats", [{"x": 0}], seed=0)
+        fresh = run_plan(plan, store=store).rows[0]
+        # The entry on disk is strict JSON (no NaN/Infinity tokens).
+        (path,) = [store.path_for(key) for key in store.keys()]
+        payload = json.loads(path.read_text(), parse_constant=pytest.fail)
+        assert payload["format"] == "repro-engine-result"
+
+        reused = run_plan(plan, store=store).rows[0]
+        assert math.isnan(reused["nan"])
+        assert reused["inf"] == math.inf and reused["ninf"] == -math.inf
+        assert reused["pi"] == fresh["pi"]
+
+    def test_corrupt_entry_counts_as_miss_and_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = ExperimentPlan("p", "test-engine/draw", [{"case_id": 0}], seed=0)
+        first = run_plan(plan, store=store)
+        (key,) = list(store.keys())
+        store.path_for(key).write_text("{not json")
+        again = run_plan(plan, store=store)
+        assert again.reused_count == 0
+        assert again.rows == first.rows  # recomputed, bit-identical
+
+    def test_corrupt_float_tag_counts_as_miss(self, tmp_path):
+        # Parseable JSON whose payload decodes badly must also fall back to
+        # recomputation, not crash the run (the store is a cache).
+        store = ResultStore(tmp_path / "store")
+        plan = ExperimentPlan("p", "test-engine/special-floats", [{"x": 0}], seed=0)
+        first = run_plan(plan, store=store)
+        (key,) = list(store.keys())
+        path = store.path_for(key)
+        path.write_text(path.read_text().replace('{"__float__": "nan"}', '{"__float__": "bogus"}'))
+        again = run_plan(plan, store=store)
+        assert again.reused_count == 0
+        assert again.rows[0]["pi"] == first.rows[0]["pi"]
+
+    def test_store_rejects_callable_tasks(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = ExperimentPlan("p", _callable_task, [{"case_id": 0}], seed=0)
+        with pytest.raises(EngineError):
+            run_plan(plan, store=store)
+
+    def test_malformed_key_rejected(self, tmp_path):
+        with pytest.raises(EngineError):
+            ResultStore(tmp_path).path_for("short")
+
+
+class TestRunSpecTask:
+    def test_grid_of_specs_runs_and_stores(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = {
+            "algorithm": "pd-omflp",
+            "workload": {"kind": "uniform", "num_requests": 8, "num_commodities": 3},
+        }
+        cases = [{"spec": {**spec, "seed": s}} for s in (0, 1)]
+        plan = ExperimentPlan("specs", "run-spec", cases, seed=0)
+        outcome = run_plan(plan, store=store)
+        assert [row["algorithm"] for row in outcome.rows] == ["pd-omflp", "pd-omflp"]
+        assert all(row["total_cost"] > 0 for row in outcome.rows)
+        assert run_plan(plan, store=store).rows == outcome.rows
+
+    def test_seedless_spec_gets_deterministic_seed(self):
+        spec = {
+            "algorithm": "rand-omflp",
+            "workload": {"kind": "uniform", "num_requests": 8, "num_commodities": 3},
+        }
+        plan = ExperimentPlan("specs", "run-spec", [{"spec": spec}], seed=5)
+
+        def deterministic(rows):
+            # runtime_seconds is wall-clock and legitimately varies.
+            return [
+                {k: v for k, v in row.items() if k != "runtime_seconds"} for row in rows
+            ]
+
+        assert deterministic(run_plan(plan).rows) == deterministic(run_plan(plan).rows)
+
+
+class TestRunSweepShim:
+    def test_rows_merge_parameters(self):
+        def worker(params):
+            return {"value": params["x"] * 2}
+
+        rows = run_sweep(worker, ParameterGrid({"x": [1, 2, 3]}))
+        assert rows == [
+            {"x": 1, "value": 2},
+            {"x": 2, "value": 4},
+            {"x": 3, "value": 6},
+        ]
+
+    def test_parameter_named_task_is_plain_data(self):
+        # "task" is only reserved inside experiment plans, not user grids.
+        rows = run_sweep(
+            lambda params: {"seen": params["task"]}, ParameterGrid({"task": ["a", "b"]})
+        )
+        assert rows == [{"task": "a", "seen": "a"}, {"task": "b", "seen": "b"}]
+
+    def test_workers_none_stays_serial(self):
+        # Historical contract: workers=None runs in-process, so closure
+        # workers never need to pickle regardless of host core count.
+        rows = run_sweep(
+            lambda params: {"value": params["x"] + 1},
+            ParameterGrid({"x": list(range(20))}),
+            workers=None,
+        )
+        assert [row["value"] for row in rows] == [x + 1 for x in range(20)]
+
+    def test_registered_engine_tasks_visible(self):
+        # The experiments register their task kinds at import time.
+        import repro.experiments.registry  # noqa: F401
+
+        names = TASKS.names()
+        assert "run-spec" in names
+        assert "omflp/scaling-cell" in names
+        assert "covering-lemma/cell" in names

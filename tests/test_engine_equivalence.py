@@ -1,0 +1,122 @@
+"""Parallel-vs-serial equivalence harness for every experiment.
+
+The engine's determinism contract: because each task owns a private child RNG
+stream (``spawn_child_seeds``), the worker count can never change results.
+This harness pins that at two levels for **all 13 experiment modules**:
+
+* **plan level** — each experiment's quick-profile plan is executed serially
+  and through a forced 2-worker process pool (``min_items_for_parallel=1``,
+  so even one-case plans cross the process boundary); every emitted row must
+  be exactly ``==``.
+* **experiment level** — the full ``run(workers=2)`` path (the CLI's
+  ``--workers``) must reproduce ``run(workers=1)`` rows, notes, parameters
+  and extra text exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import registry as experiments_registry
+from repro.engine import run_plan
+from repro.parallel.pool import ParallelConfig
+
+
+def _canonical(value):
+    """Identity-preserving form whose ``==`` treats NaN as equal to itself.
+
+    Rows may legitimately contain NaN (e.g. ``exact_opt`` when brute force is
+    unaffordable); bitwise-identical runs must still compare equal.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return "__nan__"
+    if isinstance(value, dict):
+        return {key: _canonical(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(entry) for entry in value]
+    return value
+
+#: Every experiment module, keyed by its registry id.
+EXPERIMENT_MODULES = {
+    module.EXPERIMENT_ID: module
+    for module in (
+        experiments_registry.fig2_bound_curves,
+        experiments_registry.thm2_single_point,
+        experiments_registry.cor3_combined,
+        experiments_registry.thm4_pd_scaling,
+        experiments_registry.thm19_rand_scaling,
+        experiments_registry.thm18_cost_class,
+        experiments_registry.baseline_separation,
+        experiments_registry.duality_certificates,
+        experiments_registry.covering_lemma,
+        experiments_registry.fig3_connection_trace,
+        experiments_registry.ofl_substrate,
+        experiments_registry.heavy_commodities,
+        experiments_registry.arrival_order,
+    )
+}
+
+EXPERIMENT_IDS = sorted(EXPERIMENT_MODULES)
+
+
+def test_every_registered_experiment_is_covered():
+    """The harness must grow with the registry: no experiment escapes it."""
+    assert set(EXPERIMENT_IDS) == set(experiments_registry.list_experiments())
+
+
+def test_every_experiment_module_has_a_declarative_plan():
+    for experiment_id, module in EXPERIMENT_MODULES.items():
+        plan = module.build_plan("quick", seed=0)
+        assert len(plan) >= 1, experiment_id
+        for task in plan.tasks():
+            # Every case must be name-registered plain data, i.e. storable.
+            assert task.storable(), (experiment_id, task)
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_plan_rows_identical_through_forced_pool(experiment_id):
+    module = EXPERIMENT_MODULES[experiment_id]
+    plan = module.build_plan("quick", seed=0)
+    serial = run_plan(plan, workers=1)
+    pooled = run_plan(
+        plan, config=ParallelConfig(workers=2, min_items_for_parallel=1)
+    )
+    assert _canonical(serial.rows) == _canonical(pooled.rows)
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    # Cheap plans with diverse row shapes: deterministic curve samples,
+    # multi-row tasks, and NaN-bearing certificate rows.
+    ["fig2-bound-curves", "covering-lemma", "duality-certificates"],
+)
+def test_experiment_store_reuse_round_trip(experiment_id, tmp_path):
+    """Re-running against a store reuses every case and reproduces the result."""
+    from repro.engine import ResultStore
+
+    module = EXPERIMENT_MODULES[experiment_id]
+    store = ResultStore(tmp_path / "store")
+    first = module.run("quick", rng=0, store=store)
+    assert store.writes == len(module.build_plan("quick", seed=0))
+
+    reused = module.run("quick", rng=0, store=store)
+    assert store.hits == store.writes  # every case served from disk
+    assert _canonical(reused.rows) == _canonical(first.rows)
+    assert reused.notes == first.notes
+    assert reused.extra_text == first.extra_text
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    # The three largest grids exercise the full run() path end to end; the
+    # plan-level test above already pins every module through the pool.
+    ["thm2-single-point", "baseline-separation", "thm18-cost-class"],
+)
+def test_experiment_run_workers2_equals_serial(experiment_id):
+    module = EXPERIMENT_MODULES[experiment_id]
+    serial = module.run("quick", rng=0, workers=1)
+    parallel = module.run("quick", rng=0, workers=2)
+    assert _canonical(parallel.rows) == _canonical(serial.rows)
+    assert parallel.notes == serial.notes
+    assert parallel.parameters == serial.parameters
+    assert parallel.extra_text == serial.extra_text

@@ -212,3 +212,60 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        assert "covering-lemma" in capsys.readouterr().out
+
+    def test_experiments_run_with_workers_and_store(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiments",
+                "run",
+                "covering-lemma",
+                "--workers",
+                "2",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "covering-lemma" in first
+        assert "0 case(s) reused" in first
+
+        # Same grid again: every case must be served from the store.
+        assert (
+            main(
+                [
+                    "experiments",
+                    "run",
+                    "covering-lemma",
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert "6 case(s) reused" in second
+
+    def test_repro_workers_env_default(self, monkeypatch):
+        from repro.experiments.cli import _default_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert _default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert _default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ExperimentError):
+            _default_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ExperimentError):
+            _default_workers()
+
+    def test_run_uses_env_workers(self, monkeypatch, capsys):
+        # Smoke: run-all style command picks up REPRO_WORKERS without flags.
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert main(["run", "fig2-bound-curves"]) == 0
+        assert "fig2-bound-curves" in capsys.readouterr().out

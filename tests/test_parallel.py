@@ -1,11 +1,12 @@
 """Tests for the scatter/gather process-pool helpers."""
 
 import os
+import pickle
 
 import pytest
 
 from repro.exceptions import ExperimentError
-from repro.parallel import ParallelConfig, parallel_map, scatter_gather
+from repro.parallel import ParallelConfig, ParallelTaskError, parallel_map, scatter_gather
 
 
 def _square(x: int) -> int:
@@ -67,3 +68,36 @@ class TestParallelMap:
 
     def test_scatter_gather_wrapper(self):
         assert scatter_gather(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+
+class TestWorkerExceptionIdentity:
+    def test_pool_failure_names_the_failing_item(self):
+        with pytest.raises(ParallelTaskError, match=r"item 3 \(3\).*boom") as info:
+            parallel_map(
+                _raise_on_three,
+                list(range(10)),
+                config=ParallelConfig(workers=2, chunk_size=2, min_items_for_parallel=2),
+            )
+        assert info.value.item_index == 3
+        assert info.value.item_repr == "3"
+        # The ExperimentError hierarchy is preserved for existing catchers.
+        assert isinstance(info.value, ExperimentError)
+
+    def test_scatter_gather_surfaces_identity_too(self):
+        with pytest.raises(ParallelTaskError, match="item 3"):
+            scatter_gather(
+                _raise_on_three, list(range(20)), workers=2, chunk_size=1
+            )
+
+    def test_error_survives_pickling(self):
+        # The pool transports exceptions by pickle; keyword state must survive.
+        error = ParallelTaskError("item 7 ({'x': 1}) failed", item_index=7, item_repr="{'x': 1}")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.item_index == 7
+        assert clone.item_repr == "{'x': 1}"
+        assert str(clone) == str(error)
+
+    def test_serial_path_keeps_original_exception(self):
+        # workers=1 stays a plain loop: callers still see the raw error type.
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_raise_on_three, list(range(5)), config=ParallelConfig(workers=1))

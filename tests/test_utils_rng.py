@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import child_rngs, ensure_rng, spawn_seeds
+from repro.utils.rng import child_rngs, ensure_rng, spawn_child_seeds, spawn_seeds
 
 
 class TestEnsureRng:
@@ -26,6 +26,24 @@ class TestEnsureRng:
     def test_invalid_type_rejected(self):
         with pytest.raises(TypeError):
             ensure_rng("not-a-seed")
+
+
+class TestSpawnChildSeeds:
+    def test_spawn_seeds_is_an_alias(self):
+        assert spawn_seeds(123, 8) == spawn_child_seeds(123, 8)
+
+    def test_prefix_stable(self):
+        # The engine relies on this: growing a case grid keeps the child
+        # seeds (and store addresses) of all existing cases.
+        assert spawn_child_seeds(9, 12)[:5] == spawn_child_seeds(9, 5)
+
+    def test_distinct_roots_diverge(self):
+        assert spawn_child_seeds(0, 6) != spawn_child_seeds(1, 6)
+
+    def test_children_are_63_bit_ints(self):
+        for seed in spawn_child_seeds(2, 32):
+            assert isinstance(seed, int)
+            assert 0 <= seed < 2**63 - 1
 
 
 class TestSpawnSeeds:
