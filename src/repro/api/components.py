@@ -92,7 +92,10 @@ COSTS.add("per-point-scaled", PerPointScaledCost)
 # ----------------------------------------------------------------------
 # Workload generators (each returns a GeneratedWorkload)
 # ----------------------------------------------------------------------
-WORKLOADS = Registry("workload")
+# Strict parameters: a typo'd keyword in a declarative workload spec raises
+# ReproError naming the offending key (instead of a generator-internal
+# TypeError); the scenario registry (repro.scenarios) does the same.
+WORKLOADS = Registry("workload", strict_params=True)
 WORKLOADS.add("uniform", uniform_workload)
 WORKLOADS.add("clustered", clustered_workload)
 WORKLOADS.add("zipf", zipf_workload)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import difflib
 import inspect
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.exceptions import ReproError, UnknownComponentError
 
@@ -50,12 +50,19 @@ def did_you_mean(name: str, candidates: List[str]) -> str:
 
 
 class Registry:
-    """A named mapping from string keys to component builder callables."""
+    """A named mapping from string keys to component builder callables.
 
-    def __init__(self, kind: str) -> None:
+    With ``strict_params=True`` every :meth:`build` call first runs
+    :meth:`check_params`, so an unknown keyword in a declarative spec raises
+    :class:`ReproError` naming the offending key instead of surfacing as a
+    bare ``TypeError`` from deep inside the builder.
+    """
+
+    def __init__(self, kind: str, *, strict_params: bool = False) -> None:
         #: What the registry holds (``"metric"``, ``"algorithm"``, ...);
         #: used in error messages.
         self.kind = kind
+        self.strict_params = strict_params
         self._builders: Dict[str, Callable[..., Any]] = {}
 
     # ------------------------------------------------------------------
@@ -104,7 +111,52 @@ class Registry:
 
     def build(self, name: str, **params: Any) -> Any:
         """Instantiate the component registered under ``name``."""
+        if self.strict_params:
+            self.check_params(name, params)
         return self.get(name)(**params)
+
+    def accepted_params(self, name: str) -> Optional[List[str]]:
+        """Keyword parameters the builder of ``name`` accepts.
+
+        ``None`` when the builder takes ``**kwargs`` or its signature cannot
+        be introspected (anything would be accepted / nothing can be checked).
+        """
+        builder = self.get(name)
+        try:
+            signature = inspect.signature(builder)
+        except (TypeError, ValueError):  # builtins without introspectable signatures
+            return None
+        parameters = signature.parameters.values()
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
+            return None
+        return [
+            p.name
+            for p in parameters
+            if p.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ]
+
+    def check_params(self, name: str, params: Mapping[str, Any]) -> None:
+        """Raise :class:`ReproError` naming any parameter ``name`` rejects.
+
+        This is what makes a typo'd keyword in a workload/scenario spec fail
+        with the offending key and the accepted list, rather than a
+        ``TypeError`` from deep inside the generator.
+        """
+        accepted = self.accepted_params(name)
+        if accepted is None:
+            return
+        unknown = sorted(key for key in params if key not in accepted)
+        if unknown:
+            keys = ", ".join(repr(key) for key in unknown)
+            hint = did_you_mean(unknown[0], accepted)
+            raise ReproError(
+                f"unknown parameter(s) {keys} for {self.kind} {name!r}{hint}; "
+                f"accepted: {', '.join(accepted) or '(none)'}"
+            )
 
     def accepts(self, name: str, parameter: str) -> bool:
         """Whether the builder of ``name`` takes a ``parameter`` keyword.

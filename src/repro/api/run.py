@@ -44,6 +44,14 @@ def run(spec: SpecLike) -> RunRecord:
     recorded on the result for provenance.
     """
     spec = _coerce_spec(spec)
+    if spec.scenario is not None:
+        # Scenario specs stream: online runs feed an OnlineSession in
+        # bounded-memory batches (never materializing the instance), offline
+        # runs realize the bit-identical eager form.  Imported lazily to keep
+        # plain runs free of the scenario stack.
+        from repro.scenarios.run import run_spec_streamed
+
+        return run_spec_streamed(spec)
     generator = ensure_rng(spec.seed)
     instance = spec.build_instance(generator)
     component = spec.build_algorithm()

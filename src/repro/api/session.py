@@ -293,7 +293,12 @@ class OnlineSession:
     # ------------------------------------------------------------------
     # Durability (snapshot / restore)
     # ------------------------------------------------------------------
-    def snapshot(self, *, spec: Optional[Dict[str, Any]] = None) -> "SessionSnapshot":
+    def snapshot(
+        self,
+        *,
+        spec: Optional[Dict[str, Any]] = None,
+        scenario_state: Optional[Dict[str, Any]] = None,
+    ) -> "SessionSnapshot":
         """Capture a restorable, JSON-serializable snapshot of the session.
 
         The snapshot records the algorithm's ``state_dict``, the full online
@@ -306,6 +311,11 @@ class OnlineSession:
         dict the session was created from, making the snapshot self-contained
         (restorable without re-supplying components); the
         :class:`~repro.service.SessionManager` always embeds it.
+
+        ``scenario_state`` optionally embeds the driving scenario stream's
+        :meth:`~repro.scenarios.base.ScenarioStream.state_dict`, so a
+        scenario-backed session resumes its generator position too (the
+        :class:`~repro.scenarios.run.ScenarioSession` snapshot path).
         """
         from repro.service.snapshot import SessionSnapshot
 
@@ -324,6 +334,9 @@ class OnlineSession:
             runtime_seconds=self._runtime,
             num_requests=len(self._requests),
             spec=copy.deepcopy(spec) if spec is not None else None,
+            scenario_state=copy.deepcopy(scenario_state)
+            if scenario_state is not None
+            else None,
         )
 
     @classmethod

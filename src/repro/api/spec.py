@@ -27,6 +27,7 @@ still runs but no longer serializes (``to_dict`` raises).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -91,6 +92,15 @@ class RunSpec:
     workload:
         Alternatively, a workload generator spec that produces the whole
         instance (mutually exclusive with ``metric``/``cost``/``requests``).
+    scenario:
+        Alternatively, a (possibly nested) streaming scenario spec resolved
+        through :data:`repro.scenarios.SCENARIOS` (mutually exclusive with
+        ``workload`` and with explicit ``metric``/``cost``/``requests``).
+        Online runs stream it through an
+        :class:`~repro.api.session.OnlineSession` in bounded-memory batches;
+        offline runs realize it eagerly (bit-identical by construction).
+        The four legacy workload kinds are also registered as scenarios, so
+        ``{"scenario": {"kind": "uniform", ...}}`` keeps working.
     seed:
         Seed for workload generation and randomized algorithms.
     trace:
@@ -106,6 +116,7 @@ class RunSpec:
     cost: Optional[ComponentSpec] = None
     requests: Optional[Sequence[Tuple[int, Sequence[int]]]] = None
     workload: Optional[ComponentSpec] = None
+    scenario: Optional[ComponentSpec] = None
     seed: Optional[int] = None
     trace: bool = False
     validate: bool = True
@@ -119,15 +130,26 @@ class RunSpec:
             self.cost = _normalize(self.cost, "cost")
         if self.workload is not None:
             self.workload = _normalize(self.workload, "workload")
+        if self.scenario is not None:
+            self.scenario = _normalize(self.scenario, "scenario")
         if self.requests is not None:
             self.requests = [
                 (int(point), tuple(sorted(int(e) for e in commodities)))
                 for point, commodities in self.requests
             ]
-        if self.workload is not None:
+        sources = [
+            label
+            for label, value in (("workload", self.workload), ("scenario", self.scenario))
+            if value is not None
+        ]
+        if len(sources) > 1:
+            raise ExperimentError(
+                "a RunSpec takes either a workload or a scenario, not both"
+            )
+        if sources:
             if self.metric is not None or self.cost is not None or self.requests is not None:
                 raise ExperimentError(
-                    "a RunSpec takes either a workload or explicit "
+                    f"a RunSpec takes either a {sources[0]} or explicit "
                     "metric/cost/requests, not both"
                 )
         else:
@@ -160,6 +182,7 @@ class RunSpec:
             "cost",
             "requests",
             "workload",
+            "scenario",
             "seed",
             "trace",
             "validate",
@@ -185,6 +208,7 @@ class RunSpec:
             ("metric", self.metric),
             ("cost", self.cost),
             ("workload", self.workload),
+            ("scenario", self.scenario),
         ):
             if not _is_declarative(value):
                 raise ExperimentError(
@@ -194,6 +218,8 @@ class RunSpec:
         data: Dict[str, Any] = {"algorithm": dict(self.algorithm)}
         if self.workload is not None:
             data["workload"] = dict(self.workload)
+        elif self.scenario is not None:
+            data["scenario"] = copy.deepcopy(dict(self.scenario))
         else:
             data["metric"] = dict(self.metric)
             data["cost"] = dict(self.cost)
@@ -214,7 +240,13 @@ class RunSpec:
         """Whether every component is named declaratively (spec serializes)."""
         return all(
             _is_declarative(value)
-            for value in (self.algorithm, self.metric, self.cost, self.workload)
+            for value in (
+                self.algorithm,
+                self.metric,
+                self.cost,
+                self.workload,
+                self.scenario,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -251,12 +283,36 @@ class RunSpec:
         registry = ALGORITHMS if self.mode() == "online" else SOLVERS
         return _build_component(self.algorithm, registry, None)
 
+    def build_scenario(self):
+        """Resolve the nested scenario spec into a live Scenario object."""
+        if self.scenario is None:
+            raise ExperimentError("this RunSpec names no scenario")
+        # Imported lazily: the scenario engine pulls in workload/metric stacks
+        # that plain metric/cost specs never need.
+        from repro.scenarios.base import Scenario, scenario_from_dict
+
+        if isinstance(self.scenario, Scenario):
+            return self.scenario
+        return scenario_from_dict(self.scenario)
+
     def build_instance(self, rng=None) -> Instance:
         """Materialize the instance (generating the workload when named).
 
         ``rng`` (defaulting to a generator seeded with ``seed``) is threaded
-        into workload generation and random metric factories.
+        into workload generation and random metric factories.  Scenario specs
+        realize eagerly here (streaming callers use
+        :mod:`repro.scenarios.run` instead); their seed derivation depends
+        only on ``self.seed``, matching the streamed path exactly.
         """
+        if self.scenario is not None:
+            from repro.scenarios.run import derive_session_seeds
+
+            scenario_seed, _ = derive_session_seeds(self.seed)
+            workload = self.build_scenario().realize(scenario_seed)
+            instance = workload.instance
+            if self.name is not None:
+                instance.name = self.name
+            return instance
         generator = ensure_rng(self.seed if rng is None else rng)
         if self.workload is not None:
             workload = _build_component(self.workload, WORKLOADS, generator)
@@ -279,3 +335,38 @@ class RunSpec:
         if self.name is not None:
             instance.name = self.name
         return instance
+
+    def normalized(self) -> Dict[str, Any]:
+        """Resolve every component *without running* and return the canonical dict.
+
+        This is the ``repro spec --validate-only`` backend: the algorithm key
+        is resolved (deciding the mode, with did-you-mean on typos) and its
+        parameters signature-checked, metric/cost/workload specs are checked
+        against their registries, and scenario specs are fully constructed —
+        which validates nested children and parameter ranges — then
+        re-serialized with all defaults materialized.
+        """
+        if not self.is_declarative():
+            raise ExperimentError(
+                "only fully declarative specs can be validated and normalized"
+            )
+        data = self.to_dict()
+        mode = self.mode()
+        registry = ALGORITHMS if mode == "online" else SOLVERS
+        registry.check_params(
+            self.algorithm["kind"],
+            {key: value for key, value in self.algorithm.items() if key != "kind"},
+        )
+        for label, spec, component_registry in (
+            ("metric", self.metric, METRICS),
+            ("cost", self.cost, COSTS),
+            ("workload", self.workload, WORKLOADS),
+        ):
+            if isinstance(spec, dict):
+                component_registry.check_params(
+                    spec["kind"],
+                    {key: value for key, value in spec.items() if key != "kind"},
+                )
+        if self.scenario is not None:
+            data["scenario"] = self.build_scenario().to_dict()
+        return data

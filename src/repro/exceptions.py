@@ -20,6 +20,7 @@ __all__ = [
     "UnknownComponentError",
     "SnapshotError",
     "ServiceError",
+    "ScenarioError",
 ]
 
 
@@ -103,3 +104,13 @@ class SnapshotError(ReproError):
 
 class ServiceError(ReproError):
     """A session-manager operation failed (unknown session, bad name, ...)."""
+
+
+class ScenarioError(ReproError):
+    """A scenario was declared or driven inconsistently.
+
+    Raised by the compositional scenario engine (:mod:`repro.scenarios`) for
+    invalid or out-of-range scenario parameters (always naming the offending
+    key), incompatible combinator children, realizing an unbounded stream
+    without a limit, or resuming a stream from a mismatched state dict.
+    """

@@ -136,6 +136,64 @@ def build_parser() -> argparse.ArgumentParser:
     spec_parser.add_argument(
         "--csv", type=Path, default=None, help="also write the result rows to a CSV file"
     )
+    spec_parser.add_argument(
+        "--validate-only",
+        action="store_true",
+        help=(
+            "resolve every spec (including nested scenario dicts) and print "
+            "the normalized form without running anything"
+        ),
+    )
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="streaming scenario engine operations (list, describe, sample, smoke)",
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scenarios_sub.add_parser("list", help="list registered scenario kinds")
+    describe_parser = scenarios_sub.add_parser(
+        "describe",
+        help="describe one scenario kind (or all) with its canonical parameters",
+    )
+    describe_parser.add_argument(
+        "kind", nargs="?", default=None, help="scenario kind (default: all kinds)"
+    )
+    sample_parser = scenarios_sub.add_parser(
+        "sample",
+        help="stream requests from a scenario spec and print them as JSON lines",
+    )
+    sample_parser.add_argument(
+        "scenario",
+        help=(
+            "a registered kind name (uses its catalog example spec), inline "
+            "JSON, or the path of a JSON file holding a scenario spec"
+        ),
+    )
+    sample_parser.add_argument(
+        "--n", type=int, default=10, help="number of requests to sample (default 10)"
+    )
+    sample_parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    sample_parser.add_argument(
+        "--batch-size", type=int, default=256, help="stream batch size (result-invariant)"
+    )
+    sample_parser.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the environment description before the requests",
+    )
+    smoke_parser = scenarios_sub.add_parser(
+        "smoke",
+        help=(
+            "run every registered scenario's catalog example through a quick "
+            "OnlineSession and print one result row each"
+        ),
+    )
+    smoke_parser.add_argument(
+        "--n", type=int, default=None, help="cap requests per scenario (default: full example)"
+    )
+    smoke_parser.add_argument("--seed", type=int, default=0, help="root seed")
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -221,13 +279,22 @@ def _run_experiments(experiment_ids: List[str], args: argparse.Namespace) -> Non
         )
 
 
-def _run_specs(args: argparse.Namespace) -> None:
+def _run_specs(args: argparse.Namespace) -> int:
     specs: List[RunSpec] = []
     for path in args.paths:
         data = json.loads(Path(path).read_text())
         if args.seed is not None:
             data["seed"] = args.seed
         specs.append(RunSpec.from_dict(data))
+    if args.validate_only:
+        for path, spec in zip(args.paths, specs):
+            print(
+                json.dumps(
+                    {"file": str(path), "mode": spec.mode(), "spec": spec.normalized()},
+                    indent=2,
+                )
+            )
+        return 0
     workers = args.workers if args.workers is not None else _default_workers()
     records = run_many(specs, workers=workers)
     for record in records:
@@ -235,6 +302,87 @@ def _run_specs(args: argparse.Namespace) -> None:
     if args.csv is not None:
         path = records_to_csv(records, args.csv)
         print(f"wrote {path}")
+    return 0
+
+
+def _load_scenario_argument(argument: str):
+    """Resolve the ``scenarios sample`` target: kind name, JSON text or file."""
+    from repro.scenarios import EXAMPLE_SPECS, SCENARIOS, scenario_from_dict
+
+    if argument in SCENARIOS:
+        spec = EXAMPLE_SPECS.get(argument, {"kind": argument})
+        return scenario_from_dict(spec)
+    text = argument
+    if not argument.lstrip().startswith("{"):
+        path = Path(argument)
+        if not path.exists():
+            # Not JSON and not a file: treat as a typo'd kind name so the
+            # registry's did-you-mean error surfaces instead of a bare
+            # FileNotFoundError.
+            SCENARIOS.get(argument)
+        text = path.read_text()
+    return scenario_from_dict(json.loads(text))
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import EXAMPLE_SPECS, SCENARIOS, catalog, scenario_from_dict
+
+    if args.scenarios_command == "list":
+        for kind in SCENARIOS.names():
+            print(kind)
+        return 0
+    if args.scenarios_command == "describe":
+        rows = catalog()
+        if args.kind is not None:
+            rows = [row for row in rows if row["kind"] == args.kind]
+            if not rows:
+                # Unknown kind: fail with the registry's did-you-mean message.
+                SCENARIOS.get(args.kind)
+        for row in rows:
+            print(json.dumps(row, indent=2))
+        return 0
+    if args.scenarios_command == "sample":
+        scenario = _load_scenario_argument(args.scenario)
+        stream = scenario.open(args.seed)
+        if args.describe:
+            print(json.dumps(stream.environment.describe()))
+        remaining = args.n
+        while remaining > 0:
+            batch = stream.take(min(args.batch_size, remaining))
+            if not batch:
+                break
+            for point, commodities in batch:
+                print(json.dumps([point, sorted(commodities)]))
+            remaining -= len(batch)
+        return 0
+    if args.scenarios_command == "smoke":
+        # Each registered scenario's catalog example through a quick
+        # OnlineSession run (the CI scenario smoke step).
+        from repro.scenarios.run import ScenarioSession
+
+        header = f"{'scenario':18s} {'n':>6s} {'facilities':>10s} {'total_cost':>12s}"
+        print(header)
+        print("-" * len(header))
+        for kind in SCENARIOS.names():
+            example = EXAMPLE_SPECS.get(kind)
+            if example is None:
+                # Third-party kinds registered without a catalog example.
+                print(f"{kind:18s} (no catalog example; skipped)")
+                continue
+            session = ScenarioSession(
+                {"algorithm": "pd-omflp", "scenario": dict(example), "seed": args.seed}
+            )
+            count = session.stream.length
+            if args.n is not None:
+                count = args.n if count is None else min(count, args.n)
+            session.advance(count)
+            record = session.finalize()
+            print(
+                f"{kind:18s} {record.num_requests:>6d} "
+                f"{record.num_facilities:>10d} {record.total_cost:>12.4f}"
+            )
+        return 0
+    raise ExperimentError(f"unknown scenarios command {args.scenarios_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -258,8 +406,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_experiments(args.experiment_ids or list_experiments(), args)
         return 0
     if args.command == "spec":
-        _run_specs(args)
-        return 0
+        return _run_specs(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     if args.command == "serve":
         # Imported lazily so plain experiment commands do not pay for it.
         from repro.service import SessionManager, serve

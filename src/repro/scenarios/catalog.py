@@ -1,0 +1,154 @@
+"""The scenario catalog: one canonical example spec per registered kind.
+
+Single source of truth for everything that needs "one small working spec of
+every scenario": the CLI (``repro scenarios describe`` / ``smoke``), the CI
+smoke step (each registered scenario sampled through a quick
+:class:`~repro.api.session.OnlineSession` run), the determinism property
+tests, and the EXPERIMENTS.md catalog table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.scenarios.base import SCENARIOS, scenario_from_dict
+
+__all__ = ["EXAMPLE_SPECS", "MODELS", "catalog"]
+
+#: A small, fast, registered example spec per scenario kind.
+EXAMPLE_SPECS: Dict[str, Dict[str, Any]] = {
+    "uniform": {
+        "kind": "uniform",
+        "num_requests": 48,
+        "num_commodities": 6,
+        "num_points": 24,
+    },
+    "clustered": {
+        "kind": "clustered",
+        "num_requests": 48,
+        "num_commodities": 6,
+        "num_clusters": 3,
+        "points_per_cluster": 6,
+    },
+    "zipf": {
+        "kind": "zipf",
+        "num_requests": 48,
+        "num_commodities": 8,
+        "num_points": 24,
+        "zipf_alpha": 1.2,
+    },
+    "service-network": {
+        "kind": "service-network",
+        "num_requests": 48,
+        "num_services": 6,
+        "num_nodes": 16,
+        "num_profiles": 3,
+        "profile_size": 2,
+    },
+    "burst": {
+        "kind": "burst",
+        "num_requests": 48,
+        "num_commodities": 6,
+        "num_points": 24,
+        "num_hotspots": 3,
+        "burst_size_mean": 6.0,
+    },
+    "drift": {
+        "kind": "drift",
+        "num_requests": 48,
+        "num_commodities": 6,
+        "num_points": 24,
+        "drift_rate": 0.05,
+    },
+    "single-point": {"kind": "single-point", "num_commodities": 36, "rounds": 2},
+    "fotakis-line": {"kind": "fotakis-line", "num_requests": 48},
+    "adaptive": {
+        "kind": "adaptive",
+        "num_requests": 48,
+        "num_commodities": 6,
+        "num_points": 24,
+        "exploration": 0.25,
+    },
+    "replay": {
+        "kind": "replay",
+        "metric": {"kind": "uniform-line", "num_points": 8},
+        "cost": {"kind": "power", "num_commodities": 4, "exponent_x": 1.0},
+        "requests": [[1, [0, 1]], [6, [2]], [2, [0, 3]], [4, [1, 2]], [7, [3]]],
+        "loop": 4,
+    },
+    "mixture": {
+        "kind": "mixture",
+        "weights": [3.0, 1.0],
+        "children": [
+            {"kind": "zipf", "num_requests": 32, "num_commodities": 6, "num_points": 24},
+            {"kind": "burst", "num_requests": 16, "num_commodities": 6, "num_points": 24},
+        ],
+    },
+    "concat": {
+        "kind": "concat",
+        "children": [
+            {"kind": "uniform", "num_requests": 24, "num_commodities": 6, "num_points": 24},
+            {"kind": "drift", "num_requests": 24, "num_commodities": 6, "num_points": 24},
+        ],
+    },
+    "interleave": {
+        "kind": "interleave",
+        "block_size": 4,
+        "children": [
+            {"kind": "uniform", "num_requests": 24, "num_commodities": 6, "num_points": 24},
+            {"kind": "zipf", "num_requests": 24, "num_commodities": 6, "num_points": 24},
+        ],
+    },
+    "permute": {
+        "kind": "permute",
+        "child": {"kind": "clustered", "num_requests": 48, "num_commodities": 6,
+                  "num_clusters": 3, "points_per_cluster": 6},
+    },
+    "arrival-order": {
+        "kind": "arrival-order",
+        "order": "sparse-first",
+        "child": {"kind": "clustered", "num_requests": 48, "num_commodities": 6,
+                  "num_clusters": 3, "points_per_cluster": 6},
+    },
+    "commodity-overlay": {
+        "kind": "commodity-overlay",
+        "add": [0],
+        "add_probability": 0.5,
+        "child": {"kind": "zipf", "num_requests": 48, "num_commodities": 8,
+                  "num_points": 24},
+    },
+}
+
+#: What each kind models, for the docs catalog and ``describe``.
+MODELS: Dict[str, str] = {
+    "uniform": "unstructured baseline (uniform points, uniform demands)",
+    "clustered": "RAND-OMFLP optimal-center structure, Section 4.2 (planted offline reference)",
+    "zipf": "skewed service popularity of the Section 1 provider scenario",
+    "service-network": "the introduction's provider scenario end to end (graph metric, concave VM costs)",
+    "burst": "arrival clumping — adversarial flip side of the random-order discussion, Section 1.2",
+    "drift": "nonstationary demand: facilities opened early are gradually stranded",
+    "single-point": "Theorem 2 adversary — Ω(√|S|) on a single point, cost ⌈|σ|/√|S|⌉",
+    "fotakis-line": "Corollary 3 line stress family (oblivious nested-interval descent)",
+    "adaptive": "feedback-driven cost-seeking adversary (reacts to AssignmentEvents)",
+    "replay": "re-emission of a recorded RunRecord's request trace",
+    "mixture": "heavy-commodity mixes: weighted per-request blend of child streams",
+    "concat": "regime change: child streams back to back",
+    "interleave": "concurrent tenants: round-robin blocks from child streams",
+    "permute": "uniformly random arrival order of a finite child",
+    "arrival-order": "heuristic adversarial / reversed / random arrival orders (Section 1.2)",
+    "commodity-overlay": "per-commodity overlay: inject/remap commodities across a child stream",
+}
+
+
+def catalog() -> List[Dict[str, Any]]:
+    """One describe-row per registered scenario kind (registration order)."""
+    rows: List[Dict[str, Any]] = []
+    for kind in SCENARIOS.names():
+        example = EXAMPLE_SPECS.get(kind)
+        row: Dict[str, Any] = {"kind": kind, "models": MODELS.get(kind, "")}
+        if example is not None:
+            scenario = scenario_from_dict(example)
+            row.update(scenario.describe())
+            row["example"] = dict(example)
+        rows.append(row)
+    return rows

@@ -1,0 +1,190 @@
+"""Trace replay: re-emit the request stream of a recorded run.
+
+:class:`ReplayScenario` turns a recorded :class:`~repro.api.record.RunRecord`
+(or any explicit request trace) back into a scenario, so a production stream
+captured once can be re-run against every algorithm, permuted by the
+arrival-order combinators, or mixed with synthetic background load.  The
+declarative form stores the resolved ``metric``/``cost`` component specs plus
+the literal request list, so replays stay plain JSON::
+
+    {"kind": "replay",
+     "metric": {"kind": "uniform-line", "num_points": 8},
+     "cost": {"kind": "power", "num_commodities": 4, "exponent_x": 1.0},
+     "requests": [[1, [0, 1]], [6, [2]], [2, [0, 3]]],
+     "loop": 2}
+
+``ReplayScenario.from_record`` lifts the trace straight off a
+:class:`~repro.api.record.RunRecord` whose spec named its requests
+explicitly (runs started from workload or scenario specs do not embed their
+generated requests — replay those by re-opening the original scenario with
+the recorded seed instead, which is bit-identical by construction).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.api.components import COSTS, METRICS
+from repro.core.commodities import CommodityUniverse
+from repro.scenarios.base import (
+    Scenario,
+    ScenarioEnvironment,
+    ScenarioRequest,
+    ScenarioStream,
+    check_count,
+    param_error,
+    register_scenario,
+)
+
+__all__ = ["ReplayScenario"]
+
+
+def _canonical_requests(kind: str, requests: Any) -> List[Tuple[int, Tuple[int, ...]]]:
+    if not isinstance(requests, (list, tuple)) or not requests:
+        raise param_error(kind, "requests", "must be a non-empty list of [point, commodities] pairs")
+    canonical = []
+    for entry in requests:
+        try:
+            point, commodities = entry
+            canonical.append(
+                (int(point), tuple(sorted(int(e) for e in commodities)))
+            )
+        except (TypeError, ValueError):
+            raise param_error(
+                kind, "requests", f"entries must be [point, [commodities...]] pairs, got {entry!r}"
+            ) from None
+        if not canonical[-1][1]:
+            raise param_error(kind, "requests", f"entry {entry!r} demands no commodities")
+    return canonical
+
+
+def _spec_from_source(
+    kind: str,
+    record: Optional[Mapping[str, Any]],
+    path: Optional[Union[str, Path]],
+) -> Mapping[str, Any]:
+    """Extract the embedded RunSpec dict from a record dict or a JSON file."""
+    import json
+
+    if record is not None and path is not None:
+        raise param_error(kind, "record/path", "are mutually exclusive")
+    data: Any = record
+    if path is not None:
+        data = json.loads(Path(path).read_text())
+    if not isinstance(data, Mapping):
+        raise param_error(kind, "record", f"must be a mapping, got {type(data).__name__}")
+    # A RunRecord dict embeds the originating spec under "spec"; a bare
+    # RunSpec dict is accepted as-is.
+    spec = data.get("spec", data)
+    if not isinstance(spec, Mapping):
+        raise param_error(kind, "record", "carries no usable 'spec' mapping")
+    if "requests" not in spec:
+        raise param_error(
+            kind,
+            "record",
+            "spec does not name its requests explicitly (runs started from "
+            "workload/scenario specs do not embed generated requests; replay "
+            "those by re-opening the original scenario with the recorded seed)",
+        )
+    return spec
+
+
+@register_scenario("replay")
+class ReplayScenario(Scenario):
+    """Re-emit a recorded request trace against its recorded environment."""
+
+    def __init__(
+        self,
+        *,
+        requests: Optional[Any] = None,
+        metric: Optional[Mapping[str, Any]] = None,
+        cost: Optional[Mapping[str, Any]] = None,
+        record: Optional[Mapping[str, Any]] = None,
+        path: Optional[str] = None,
+        loop: int = 1,
+    ) -> None:
+        if record is not None or path is not None:
+            spec = _spec_from_source(self.kind, record, path)
+            requests = requests if requests is not None else spec.get("requests")
+            metric = metric if metric is not None else spec.get("metric")
+            cost = cost if cost is not None else spec.get("cost")
+        for key, value in (("requests", requests), ("metric", metric), ("cost", cost)):
+            if value is None:
+                raise param_error(
+                    self.kind,
+                    key,
+                    "is required (directly or through a 'record'/'path' source)",
+                )
+        if not isinstance(metric, Mapping) or "kind" not in metric:
+            raise param_error(self.kind, "metric", f"must be a {{'kind': ...}} spec, got {metric!r}")
+        if not isinstance(cost, Mapping) or "kind" not in cost:
+            raise param_error(self.kind, "cost", f"must be a {{'kind': ...}} spec, got {cost!r}")
+        self.requests = _canonical_requests(self.kind, requests)
+        self.metric = {str(k): v for k, v in metric.items()}
+        self.cost = {str(k): v for k, v in cost.items()}
+        self.loop = check_count(self.kind, "loop", loop)
+
+    @classmethod
+    def from_record(cls, record: Any, *, loop: int = 1) -> "ReplayScenario":
+        """Build a replay from a :class:`~repro.api.record.RunRecord` (or its dict)."""
+        if hasattr(record, "to_dict"):
+            record = record.to_dict()
+        return cls(record=record, loop=loop)
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "requests": [[point, list(commodities)] for point, commodities in self.requests],
+            "metric": dict(self.metric),
+            "cost": dict(self.cost),
+            "loop": self.loop,
+        }
+
+    @property
+    def length(self) -> Optional[int]:
+        return len(self.requests) * self.loop
+
+    def _build_environment(self, rng):
+        metric_params = {k: v for k, v in self.metric.items() if k != "kind"}
+        if METRICS.accepts(self.metric["kind"], "rng") and "rng" not in metric_params:
+            metric_params["rng"] = rng
+        metric = METRICS.build(self.metric["kind"], **metric_params)
+        cost_params = {k: v for k, v in self.cost.items() if k != "kind"}
+        if COSTS.accepts(self.cost["kind"], "rng") and "rng" not in cost_params:
+            cost_params["rng"] = rng
+        cost = COSTS.build(self.cost["kind"], **cost_params)
+        num_points = metric.num_points
+        for point, commodities in self.requests:
+            if not 0 <= point < num_points:
+                raise param_error(
+                    self.kind, "requests", f"point {point} is outside the replayed metric"
+                )
+            for commodity in commodities:
+                if not 0 <= commodity < cost.num_commodities:
+                    raise param_error(
+                        self.kind,
+                        "requests",
+                        f"commodity {commodity} is outside the replayed cost function",
+                    )
+        env = ScenarioEnvironment(
+            metric,
+            cost,
+            CommodityUniverse(cost.num_commodities),
+            name=f"replay(n={len(self.requests)},loop={self.loop})",
+        )
+        return env, {}
+
+    def _stream(self, environment, aux, rng):
+        return _ReplayStream(self, environment, rng)
+
+
+class _ReplayStream(ScenarioStream):
+    """Deterministic re-emission; consumes no randomness at all."""
+
+    def _next(self) -> Optional[ScenarioRequest]:
+        scenario: ReplayScenario = self._scenario
+        trace = scenario.requests
+        if self._position >= len(trace) * scenario.loop:
+            return None
+        point, commodities = trace[self._position % len(trace)]
+        return point, frozenset(commodities)

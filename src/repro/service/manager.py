@@ -20,7 +20,7 @@ import re
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.api.record import RunRecord
 from repro.api.session import AssignmentEvent, OnlineSession
@@ -36,11 +36,18 @@ _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 @dataclass
 class _ManagedSession:
-    """One live session plus the declarative spec it was created from."""
+    """One live session plus the declarative spec it was created from.
+
+    ``stream`` is set for scenario-backed sessions: the bound
+    :class:`~repro.scenarios.base.ScenarioStream` that feeds the session via
+    :meth:`SessionManager.advance` (client ``submit`` is rejected there — a
+    scenario owns its arrival order).
+    """
 
     name: str
     spec: Dict[str, Any]
     session: OnlineSession
+    stream: Optional[Any] = None
 
 
 class SessionManager:
@@ -139,7 +146,15 @@ class SessionManager:
                 "session can rebuild its environment deterministically"
             )
         spec_dict = run_spec.to_dict()
-        algorithm, instance, generator = components_from_spec(spec_dict)
+        stream = None
+        if run_spec.scenario is not None:
+            from repro.scenarios.run import scenario_session_components
+
+            algorithm, instance, generator, stream = scenario_session_components(
+                run_spec
+            )
+        else:
+            algorithm, instance, generator = components_from_spec(spec_dict)
         session = OnlineSession(
             algorithm,
             instance.metric,
@@ -156,7 +171,9 @@ class SessionManager:
         # Seed provenance: the generator object was threaded through workload
         # generation, so record the spec seed explicitly on the session.
         session._seed = run_spec.seed
-        self._live[name] = _ManagedSession(name=name, spec=spec_dict, session=session)
+        self._live[name] = _ManagedSession(
+            name=name, spec=spec_dict, session=session, stream=stream
+        )
         self._enforce_capacity(keep=name)
         return self.status(name)
 
@@ -175,8 +192,30 @@ class SessionManager:
                 raise ServiceError(
                     f"snapshot for session {name!r} carries no spec; cannot reload"
                 )
-            session = OnlineSession.restore(snapshot)
-            entry = _ManagedSession(name=name, spec=dict(snapshot.spec), session=session)
+            stream = None
+            if snapshot.spec.get("scenario") is not None:
+                # Scenario-backed: one environment build serves both the
+                # session restore and the resumed stream, whose exact
+                # generator position comes from the snapshot.
+                from repro.scenarios.run import scenario_session_components
+
+                if snapshot.scenario_state is None:
+                    raise ServiceError(
+                        f"snapshot for scenario session {name!r} carries no "
+                        "scenario stream state; cannot resume its generator"
+                    )
+                algorithm, instance, _generator, stream = (
+                    scenario_session_components(snapshot.spec)
+                )
+                session = OnlineSession.restore(
+                    snapshot, algorithm=algorithm, instance=instance
+                )
+                stream.load_state_dict(snapshot.scenario_state)
+            else:
+                session = OnlineSession.restore(snapshot)
+            entry = _ManagedSession(
+                name=name, spec=dict(snapshot.spec), session=session, stream=stream
+            )
             self._live[name] = entry
             self._enforce_capacity(keep=name)
             return entry
@@ -201,12 +240,55 @@ class SessionManager:
     # ------------------------------------------------------------------
     def submit(self, name: str, point: int, commodities: Iterable[int]) -> AssignmentEvent:
         """Route one arriving request to the named session."""
-        return self._checkout(name).session.submit(point, commodities)
+        entry = self._checkout(name)
+        if entry.stream is not None:
+            raise ServiceError(
+                f"session {name!r} is scenario-backed; its requests come from "
+                "the scenario stream — use 'advance' instead of 'submit'"
+            )
+        return entry.session.submit(point, commodities)
+
+    def advance(
+        self, name: str, count: Optional[int] = None
+    ) -> Tuple[List[AssignmentEvent], bool]:
+        """Stream the next ``count`` scenario requests into a scenario session.
+
+        Returns ``(events, exhausted)``.  Each event is fed back to the
+        stream's ``observe`` hook (adaptive scenarios react to it); with
+        ``count=None`` the stream is drained to its end.
+        """
+        entry = self._checkout(name)
+        if entry.stream is None:
+            raise ServiceError(
+                f"session {name!r} is not scenario-backed; clients drive it "
+                "with 'submit'"
+            )
+        if count is not None and count < 0:
+            raise ServiceError(f"advance count must be non-negative, got {count}")
+        if count is None and entry.stream.length is None:
+            raise ServiceError(
+                f"session {name!r} streams an unbounded scenario; advance "
+                "needs an explicit count"
+            )
+        from repro.scenarios.run import step_stream
+
+        events: List[AssignmentEvent] = []
+        while count is None or len(events) < count:
+            # Shared draw→submit→observe lock-step (one-request feedback
+            # latency — the same loop ScenarioSession uses).
+            event = step_stream(entry.stream, entry.session)
+            if event is None:
+                break
+            events.append(event)
+        return events, entry.stream.exhausted
 
     def snapshot(self, name: str) -> SessionSnapshot:
         """A point-in-time snapshot of the named session (stays resident)."""
         entry = self._checkout(name)
-        return entry.session.snapshot(spec=entry.spec)
+        return entry.session.snapshot(
+            spec=entry.spec,
+            scenario_state=entry.stream.state_dict() if entry.stream is not None else None,
+        )
 
     def evict(self, name: str) -> Path:
         """Snapshot the named session to disk and release its memory.
@@ -217,7 +299,10 @@ class SessionManager:
         if self._snapshot_dir is None:
             raise ServiceError("eviction needs a snapshot_dir")
         entry = self._checkout(name)
-        snapshot = entry.session.snapshot(spec=entry.spec)
+        snapshot = entry.session.snapshot(
+            spec=entry.spec,
+            scenario_state=entry.stream.state_dict() if entry.stream is not None else None,
+        )
         path = snapshot.save(self._snapshot_path(name))
         del self._live[name]
         return path
@@ -272,7 +357,7 @@ class SessionManager:
         entry = self._live.get(name)
         if entry is not None:
             session = entry.session
-            return {
+            status = {
                 "name": name,
                 "live": True,
                 "finalized": False,
@@ -282,6 +367,14 @@ class SessionManager:
                 "connection_cost": session.connection_cost,
                 "total_cost": session.total_cost,
             }
+            if entry.stream is not None:
+                status["scenario"] = {
+                    "kind": entry.stream.scenario.kind,
+                    "position": entry.stream.position,
+                    "remaining": entry.stream.remaining(),
+                    "exhausted": entry.stream.exhausted,
+                }
+            return status
         if name in self._finalized:
             record = self._finalized[name]
             return {

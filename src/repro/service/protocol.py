@@ -18,7 +18,14 @@ Operations
 ``submit``
     ``{"op": "submit", "name": ..., "point": p, "commodities": [..]}`` —
     route one request; responds with the
-    :meth:`~repro.api.session.AssignmentEvent.to_dict` event.
+    :meth:`~repro.api.session.AssignmentEvent.to_dict` event.  Rejected for
+    scenario-backed sessions (their arrival order belongs to the scenario).
+``advance``
+    ``{"op": "advance", "name": ..., "count": n}`` — stream the next ``n``
+    requests of a scenario-backed session (created from a spec with a
+    ``scenario`` entry) out of its bound generator; responds with the event
+    list, the count served and whether the stream is exhausted.  Omitting
+    ``count`` drains a finite scenario to its end.
 ``status`` / ``list``
     Introspect one session / list all known session names.
 ``snapshot``
@@ -116,6 +123,20 @@ class ServiceProtocol:
         commodities = self._required(message, "commodities")
         event = self._manager.submit(name, point, commodities)
         return {"ok": True, "name": name, "event": event.to_dict()}
+
+    def _op_advance(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        name = self._required(message, "name")
+        count = message.get("count")
+        events, exhausted = self._manager.advance(
+            name, int(count) if count is not None else None
+        )
+        return {
+            "ok": True,
+            "name": name,
+            "served": len(events),
+            "exhausted": exhausted,
+            "events": [event.to_dict() for event in events],
+        }
 
     def _op_status(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         return {"ok": True, "session": self._manager.status(self._required(message, "name"))}

@@ -70,6 +70,10 @@ class SessionSnapshot:
     runtime_seconds: float
     num_requests: int
     spec: Optional[Dict[str, Any]] = None
+    #: Resume point of the driving scenario stream, when the session was
+    #: scenario-backed (see ScenarioSession.snapshot).  Optional with a
+    #: default, so pre-scenario snapshots keep loading unchanged.
+    scenario_state: Optional[Dict[str, Any]] = None
     version: int = SNAPSHOT_VERSION
 
     # ------------------------------------------------------------------
@@ -177,6 +181,14 @@ def components_from_spec(
             f"service sessions require an online algorithm spec, got the "
             f"offline solver {spec.algorithm.get('kind')!r}"
         )
+    if spec.scenario is not None:
+        # Scenario-backed sessions: the environment comes from the scenario's
+        # deterministic environment child seed (never consuming arrival
+        # draws), and the algorithm generator from its own child seed.
+        from repro.scenarios.run import scenario_session_components
+
+        algorithm, instance, generator, _ = scenario_session_components(spec)
+        return algorithm, instance, generator
     generator = ensure_rng(spec.seed)
     instance = spec.build_instance(generator)
     algorithm = spec.build_algorithm()

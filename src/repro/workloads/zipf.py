@@ -55,7 +55,10 @@ def zipf_workload(
 
     upper = max_demand if max_demand is not None else min(num_commodities, 4)
     if not 1 <= min_demand <= upper <= num_commodities:
-        raise InvalidInstanceError("demand bounds must satisfy 1 <= min <= max <= |S|")
+        raise InvalidInstanceError(
+            f"demand bounds must satisfy 1 <= min_demand <= max_demand <= |S| "
+            f"(got {min_demand}, {upper}, {num_commodities})"
+        )
 
     universe = CommodityUniverse(num_commodities)
     ranks = np.arange(1, num_commodities + 1, dtype=np.float64)

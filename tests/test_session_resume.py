@@ -293,6 +293,53 @@ def test_snapshot_refuses_finalized_sessions():
         session.snapshot()
 
 
+def test_streaming_scenario_session_resumes_bit_identically():
+    """A scenario-backed session snapshot resumes stream *and* algorithm.
+
+    The scenario engine case of this harness: a nested combinator stream
+    (mixture of burst + zipf) feeding rand-omflp is snapshotted mid-stream,
+    round-tripped through the strict-JSON codec, and the restored
+    ScenarioSession must replay the remaining arrivals and costs exactly.
+    """
+    from repro.scenarios import ScenarioSession
+
+    spec = {
+        "algorithm": "rand-omflp",
+        "scenario": {
+            "kind": "mixture",
+            "weights": [2.0, 1.0],
+            "children": [
+                {"kind": "burst", "num_requests": 24, "num_commodities": 5,
+                 "num_points": 16, "num_hotspots": 2, "burst_size_mean": 4.0},
+                {"kind": "zipf", "num_requests": 12, "num_commodities": 5,
+                 "num_points": 16},
+            ],
+        },
+        "seed": 9,
+    }
+    reference = ScenarioSession(spec)
+    reference_events = reference.advance()
+    reference_record = reference.finalize()
+
+    session = ScenarioSession(spec)
+    head = session.advance(SPLIT)
+    snapshot = SessionSnapshot.from_json(session.snapshot().to_json())
+    resumed = ScenarioSession.restore(snapshot)
+    assert resumed.position == SPLIT
+    tail = resumed.advance()
+    assert head + tail == reference_events
+    record = resumed.finalize()
+    assert record.total_cost == reference_record.total_cost
+    assert record.opening_cost == reference_record.opening_cost
+    assert record.connection_cost == reference_record.connection_cost
+    assert _facility_sequence(record.source) == _facility_sequence(
+        reference_record.source
+    )
+    assert _assignment_trace(record.source) == _assignment_trace(
+        reference_record.source
+    )
+
+
 def test_pd_snapshot_refuses_cross_accel_restore():
     """A PD snapshot records which hot path produced it and rejects the other."""
     session, instance = _session_for("pd-omflp", "clustered-euclidean", 0, True)
