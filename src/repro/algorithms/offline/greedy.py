@@ -38,7 +38,7 @@ class GreedyOfflineSolver(OfflineSolver):
         self._candidate_points = candidate_points
 
     def solve(self, instance: Instance) -> OfflineResult:
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
         requests = instance.requests
         if len(requests) == 0:
             raise AlgorithmError("cannot solve an instance with no requests")
@@ -79,7 +79,7 @@ class GreedyOfflineSolver(OfflineSolver):
                         continue
                     opening = cost_function.cost(point, config)
                     connection = 0.0
-                    for r_index in {r for (r, _) in covered_now}:
+                    for r_index in sorted({r for (r, _) in covered_now}):
                         if point not in connected_points[r_index]:
                             connection += float(distance[r_index, point_index])
                     ratio = (opening + connection) / len(covered_now)
@@ -90,7 +90,7 @@ class GreedyOfflineSolver(OfflineSolver):
             _, point, config, covered_now = best
             chosen.append((point, config))
             uncovered -= covered_now
-            for r_index in {r for (r, _) in covered_now}:
+            for r_index in sorted({r for (r, _) in covered_now}):
                 connected_points[r_index].add(point)
 
         solution, total = solution_from_specs(instance, chosen)
@@ -105,7 +105,7 @@ class GreedyOfflineSolver(OfflineSolver):
             if pruned_total <= total:
                 solution, total = pruned_solution, pruned_total
 
-        runtime = time.perf_counter() - start
+        runtime = time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
         breakdown = solution.cost_breakdown(requests)
         return OfflineResult(
             solver=self.name,

@@ -15,8 +15,6 @@ no-prediction baseline which is wasteful in the opposite regime.
 from __future__ import annotations
 
 from repro.algorithms.base import OnlineAlgorithm
-from repro.core.assignment import Assignment
-from repro.core.instance import Instance
 from repro.core.requests import Request
 from repro.core.state import OnlineState
 

@@ -53,7 +53,6 @@ from repro.core.trace import DualFreezeEvent
 from repro.dual.variables import DualVariableStore
 from repro.exceptions import AlgorithmError, SnapshotError
 from repro.utils.encoding import decode_float, encode_float
-from repro.utils.maths import positive_part
 
 __all__ = ["PDOMFLPAlgorithm"]
 

@@ -35,9 +35,8 @@ feasibility fallback (DESIGN.md §4.2); this only affects constants.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, Optional
 
-import numpy as np
 
 from repro.accel.classes import ClassDistanceIndex
 from repro.algorithms.base import OnlineAlgorithm
@@ -256,8 +255,12 @@ class RandOMFLPAlgorithm(OnlineAlgorithm):
             # nearest_offering's distance is exactly d(r, facility.point), so
             # the connection cost needs no O(n) metric.distance row lookups.
             distance_of[facility.id] = distance
+        # Summed in sorted-facility-id order: float addition is not
+        # associative, so reducing in set (hash) order would make the cost's
+        # last bits — and every equivalence/content hash built on them —
+        # depend on the process's hash seed.
         per_commodity_cost = float(
-            sum(distance_of[fid] for fid in set(per_commodity.values()))
+            sum(distance_of[fid] for fid in sorted(set(per_commodity.values())))
         )
 
         large_entry = state.nearest_large(request.point)

@@ -21,8 +21,7 @@ Two uses, both grounded in the paper:
 
 from __future__ import annotations
 
-import math
-from typing import FrozenSet, Iterable, Optional
+from typing import Iterable
 
 from repro.algorithms.online.pd_omflp import PDOMFLPAlgorithm
 from repro.costs.count_based import PowerCost

@@ -11,7 +11,7 @@ label into their tables (see DESIGN.md, substitution notes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 import numpy as np
 

@@ -16,7 +16,7 @@ and EXPERIMENTS.md records the fitted values next to the predicted ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

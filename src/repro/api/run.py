@@ -11,7 +11,7 @@ target nested component parameters.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.algorithms.base import run_online
 from repro.api.record import RunRecord

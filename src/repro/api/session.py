@@ -203,9 +203,9 @@ class OnlineSession:
         self._requests: list[Request] = []
         self._runtime = 0.0
         self._record: Optional[RunRecord] = None
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
         algorithm.prepare(self._instance, self._state, self._rng)
-        self._runtime += time.perf_counter() - start
+        self._runtime += time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
 
     # ------------------------------------------------------------------
     # Read-only views
@@ -261,9 +261,9 @@ class OnlineSession:
 
         opening_before = self._state.current_opening_cost()
         connection_before = self._state.current_connection_cost()
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
         self._algorithm.process(request, self._state, self._rng)
-        self._runtime += time.perf_counter() - start
+        self._runtime += time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
         try:
             assignment = self._state.assignment_of(request.index)
         except KeyError as error:

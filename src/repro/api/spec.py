@@ -28,8 +28,8 @@ still runs but no longer serializes (``to_dict`` raises).
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import OfflineSolver, OnlineAlgorithm
 from repro.api.components import ALGORITHMS, COSTS, METRICS, SOLVERS, WORKLOADS

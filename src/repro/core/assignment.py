@@ -15,7 +15,7 @@ obtained by splitting requests, see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+from typing import Dict, FrozenSet, Mapping
 
 from repro.core.facility import Facility
 from repro.core.requests import Request

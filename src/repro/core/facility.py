@@ -15,7 +15,6 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tupl
 import numpy as np
 
 from repro.accel.tracker import NearestSetTracker
-from repro.core.requests import Request
 from repro.costs.base import FacilityCostFunction
 from repro.exceptions import InvalidInstanceError, SnapshotError
 from repro.metric.base import MetricSpace

@@ -9,8 +9,7 @@ arrival order through :class:`repro.algorithms.base.OnlineAlgorithm`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.commodities import CommodityUniverse
 from repro.core.requests import Request, RequestSequence

@@ -8,8 +8,8 @@ are irrevocable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.exceptions import InvalidInstanceError
 

@@ -12,12 +12,12 @@ validates feasibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 from repro.core.assignment import Assignment
 from repro.core.facility import Facility
-from repro.core.requests import Request, RequestSequence
+from repro.core.requests import RequestSequence
 from repro.exceptions import InfeasibleSolutionError
 from repro.metric.base import MetricSpace
 

@@ -13,7 +13,7 @@ algorithm), which is essential for fair competitive-ratio comparisons.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.assignment import Assignment
 from repro.core.facility import Facility, FacilityStore

@@ -10,7 +10,7 @@ corresponding experiments print as transcripts.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from repro.exceptions import SnapshotError

@@ -17,7 +17,7 @@ keeps the per-class probabilities inside ``[0, 1]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Tuple
 
 import numpy as np
 

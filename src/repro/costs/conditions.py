@@ -10,9 +10,8 @@ and by :class:`~repro.core.instance.Instance` validation.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from repro.costs.base import FacilityCostFunction
 from repro.exceptions import InvalidCostFunctionError

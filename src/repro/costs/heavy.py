@@ -23,7 +23,7 @@ workloads with skewed service sizes.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence
 
 import numpy as np
 

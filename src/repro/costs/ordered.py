@@ -10,7 +10,7 @@ family; it is used by the cost-function ablation experiment.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

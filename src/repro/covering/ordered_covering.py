@@ -21,9 +21,8 @@ paper's 1-based phrasing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Set, Tuple
 
-import numpy as np
 
 from repro.exceptions import InvalidInstanceError
 from repro.utils.maths import harmonic_number

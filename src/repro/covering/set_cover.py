@@ -11,7 +11,7 @@ directly by unit tests as a substrate sanity check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Hashable, List, Mapping, Set, Tuple
 
 from repro.exceptions import InvalidInstanceError
 from repro.utils.maths import harmonic_number

@@ -11,7 +11,6 @@ competitive-ratio experiments on instances too large for brute force.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.core.instance import Instance
 from repro.dual.feasibility import check_dual_feasibility, max_feasible_scale

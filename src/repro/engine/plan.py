@@ -39,10 +39,13 @@ TaskRef = Union[str, Callable]
 
 
 def _resolve_root_seed(seed: RandomState) -> int:
-    """Normalize any RandomState into one reproducible integer root seed."""
-    if seed is None:
-        seed = np.random.default_rng()
-    if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
+    """Normalize any RandomState into one reproducible integer root seed.
+
+    ``None`` (fresh entropy by request) routes through
+    :func:`~repro.utils.rng.spawn_child_seeds` like every other seed shape, so
+    the one place OS entropy may enter a plan is the central rng utility.
+    """
+    if seed is None or isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
         return spawn_child_seeds(seed, 1)[0]
     return int(seed)
 

@@ -1,428 +1,29 @@
-"""Command-line interface: ``repro`` (alias ``omflp-experiments``).
+"""Backwards-compatible shim: the ``repro`` CLI now lives in :mod:`repro.cli`.
 
-Examples
---------
-List the registered experiments::
-
-    repro list
-
-Run one experiment with the quick profile and print its table::
-
-    repro run thm2-single-point --profile quick --seed 0
-
-Run every experiment and write JSON results to a directory::
-
-    repro run-all --profile full --output results/
-
-Run experiments on the parallel engine with a persistent result store
-(``--workers`` defaults to the ``REPRO_WORKERS`` environment variable;
-previously computed grid cases are reused from the store by content
-address)::
-
-    repro experiments run thm4-pd-scaling thm19-rand-scaling \
-        --workers 4 --store results/store
-
-    repro experiments list
-
-Run a declarative :class:`~repro.api.spec.RunSpec` from a JSON file (or
-several — each produces one row) without writing any Python::
-
-    repro spec scenario.json --seed 3 --csv rows.csv
-
-Host durable named sessions over the JSON line protocol (one request and one
-response per line, see :mod:`repro.service.protocol`); with a snapshot
-directory, idle or shut-down sessions persist to disk and resume
-bit-identically::
-
-    printf '%s\n' \
-      '{"op": "create", "name": "east", "spec": {"algorithm": "pd-omflp",
-        "metric": {"kind": "uniform-line", "num_points": 8},
-        "cost": {"kind": "power", "num_commodities": 4, "exponent_x": 1.0},
-        "requests": [], "seed": 0}}' \
-      '{"op": "submit", "name": "east", "point": 1, "commodities": [0, 2]}' \
-      '{"op": "shutdown"}' | repro serve --snapshot-dir state/
+The command grew beyond the experiments package (declarative specs, scenario
+tools, the session server, the lint pass), so its home moved to the top-level
+:mod:`repro.cli` module, where every subcommand is an entry in the
+:data:`repro.cli.SUBCOMMANDS` registry.  This module re-exports the public
+surface so existing imports and the historical ``omflp-experiments`` console
+script keep working unchanged.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
 import sys
-from pathlib import Path
-from typing import List, Optional
 
-from repro.api.record import records_to_csv
-from repro.api.run import run_many
-from repro.api.spec import RunSpec
-from repro.engine.store import ResultStore
-from repro.exceptions import ExperimentError
-from repro.experiments.registry import list_experiments, run_experiment
+from repro.cli import (
+    SUBCOMMANDS,
+    Subcommand,
+    _default_workers,
+    _load_scenario_argument,
+    build_parser,
+    main,
+    register_subcommand,
+)
 
-__all__ = ["main", "build_parser"]
-
-
-def _default_workers() -> int:
-    """Worker-count default: the ``REPRO_WORKERS`` environment variable, else 1."""
-    value = os.environ.get("REPRO_WORKERS", "").strip()
-    if not value:
-        return 1
-    try:
-        workers = int(value)
-    except ValueError:
-        raise ExperimentError(
-            f"REPRO_WORKERS must be an integer, got {value!r}"
-        ) from None
-    if workers < 1:
-        raise ExperimentError(f"REPRO_WORKERS must be >= 1, got {workers}")
-    return workers
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduce the figures and theorem-backed results of 'The Online "
-            "Multi-Commodity Facility Location Problem' (SPAA 2020), and run "
-            "declarative scenarios through the repro.api layer."
-        ),
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-
-    subparsers.add_parser("list", help="list registered experiment ids")
-
-    run_parser = subparsers.add_parser("run", help="run a single experiment")
-    run_parser.add_argument("experiment_id", help="experiment id (see 'list')")
-    _add_run_options(run_parser)
-
-    all_parser = subparsers.add_parser("run-all", help="run every registered experiment")
-    _add_run_options(all_parser)
-
-    experiments_parser = subparsers.add_parser(
-        "experiments",
-        help="engine-backed experiment operations (list, run with workers + store)",
-    )
-    experiments_sub = experiments_parser.add_subparsers(
-        dest="experiments_command", required=True
-    )
-    experiments_sub.add_parser("list", help="list registered experiment ids")
-    experiments_run = experiments_sub.add_parser(
-        "run",
-        help="run experiments on the parallel engine (all of them when no id is given)",
-    )
-    experiments_run.add_argument(
-        "experiment_ids",
-        nargs="*",
-        metavar="experiment_id",
-        help="experiment ids (default: every registered experiment)",
-    )
-    _add_run_options(experiments_run)
-
-    spec_parser = subparsers.add_parser(
-        "spec", help="run declarative RunSpec JSON files (one result row each)"
-    )
-    spec_parser.add_argument(
-        "paths", nargs="+", type=Path, help="JSON files, each holding one RunSpec dict"
-    )
-    spec_parser.add_argument(
-        "--seed", type=int, default=None, help="override the seed of every spec"
-    )
-    spec_parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for the spec batch (default: REPRO_WORKERS or 1)",
-    )
-    spec_parser.add_argument(
-        "--csv", type=Path, default=None, help="also write the result rows to a CSV file"
-    )
-    spec_parser.add_argument(
-        "--validate-only",
-        action="store_true",
-        help=(
-            "resolve every spec (including nested scenario dicts) and print "
-            "the normalized form without running anything"
-        ),
-    )
-
-    scenarios_parser = subparsers.add_parser(
-        "scenarios",
-        help="streaming scenario engine operations (list, describe, sample, smoke)",
-    )
-    scenarios_sub = scenarios_parser.add_subparsers(
-        dest="scenarios_command", required=True
-    )
-    scenarios_sub.add_parser("list", help="list registered scenario kinds")
-    describe_parser = scenarios_sub.add_parser(
-        "describe",
-        help="describe one scenario kind (or all) with its canonical parameters",
-    )
-    describe_parser.add_argument(
-        "kind", nargs="?", default=None, help="scenario kind (default: all kinds)"
-    )
-    sample_parser = scenarios_sub.add_parser(
-        "sample",
-        help="stream requests from a scenario spec and print them as JSON lines",
-    )
-    sample_parser.add_argument(
-        "scenario",
-        help=(
-            "a registered kind name (uses its catalog example spec), inline "
-            "JSON, or the path of a JSON file holding a scenario spec"
-        ),
-    )
-    sample_parser.add_argument(
-        "--n", type=int, default=10, help="number of requests to sample (default 10)"
-    )
-    sample_parser.add_argument("--seed", type=int, default=0, help="scenario seed")
-    sample_parser.add_argument(
-        "--batch-size", type=int, default=256, help="stream batch size (result-invariant)"
-    )
-    sample_parser.add_argument(
-        "--describe",
-        action="store_true",
-        help="print the environment description before the requests",
-    )
-    smoke_parser = scenarios_sub.add_parser(
-        "smoke",
-        help=(
-            "run every registered scenario's catalog example through a quick "
-            "OnlineSession and print one result row each"
-        ),
-    )
-    smoke_parser.add_argument(
-        "--n", type=int, default=None, help="cap requests per scenario (default: full example)"
-    )
-    smoke_parser.add_argument("--seed", type=int, default=0, help="root seed")
-
-    serve_parser = subparsers.add_parser(
-        "serve",
-        help="host durable named sessions over the stdin/stdout JSON line protocol",
-    )
-    serve_parser.add_argument(
-        "--snapshot-dir",
-        type=Path,
-        default=None,
-        help="directory for evicted-session snapshots (enables durable sessions)",
-    )
-    serve_parser.add_argument(
-        "--max-live-sessions",
-        type=int,
-        default=None,
-        help="LRU-evict sessions beyond this count to the snapshot dir",
-    )
-    serve_parser.add_argument(
-        "--no-accel",
-        action="store_true",
-        help="run new sessions on the reference (non-accelerated) hot path",
-    )
-
-    return parser
-
-
-def _add_run_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--profile",
-        choices=("quick", "full"),
-        default="quick",
-        help="experiment size: 'quick' (seconds) or 'full' (the EXPERIMENTS.md sizes)",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for the engine plan (default: REPRO_WORKERS or 1)",
-    )
-    parser.add_argument(
-        "--store",
-        type=Path,
-        default=None,
-        help="content-addressed result-store directory (reuses computed cases)",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="directory to write <experiment_id>.json result files to",
-    )
-    parser.add_argument(
-        "--markdown", action="store_true", help="print markdown tables instead of plain text"
-    )
-
-
-def _run_and_report(
-    experiment_id: str, args: argparse.Namespace, store: Optional[ResultStore] = None
-) -> None:
-    result = run_experiment(
-        experiment_id,
-        profile=args.profile,
-        rng=args.seed,
-        workers=args.workers if args.workers is not None else _default_workers(),
-        store=store,
-    )
-    print(result.to_markdown() if args.markdown else result.to_table())
-    print()
-    if args.output is not None:
-        path = result.save(args.output)
-        print(f"wrote {path}")
-
-
-def _run_experiments(experiment_ids: List[str], args: argparse.Namespace) -> None:
-    store = ResultStore(args.store) if args.store is not None else None
-    for experiment_id in experiment_ids:
-        _run_and_report(experiment_id, args, store=store)
-    if store is not None:
-        print(
-            f"result store {store.directory}: {store.hits} case(s) reused, "
-            f"{store.writes} computed and stored"
-        )
-
-
-def _run_specs(args: argparse.Namespace) -> int:
-    specs: List[RunSpec] = []
-    for path in args.paths:
-        data = json.loads(Path(path).read_text())
-        if args.seed is not None:
-            data["seed"] = args.seed
-        specs.append(RunSpec.from_dict(data))
-    if args.validate_only:
-        for path, spec in zip(args.paths, specs):
-            print(
-                json.dumps(
-                    {"file": str(path), "mode": spec.mode(), "spec": spec.normalized()},
-                    indent=2,
-                )
-            )
-        return 0
-    workers = args.workers if args.workers is not None else _default_workers()
-    records = run_many(specs, workers=workers)
-    for record in records:
-        print(record.to_json())
-    if args.csv is not None:
-        path = records_to_csv(records, args.csv)
-        print(f"wrote {path}")
-    return 0
-
-
-def _load_scenario_argument(argument: str):
-    """Resolve the ``scenarios sample`` target: kind name, JSON text or file."""
-    from repro.scenarios import EXAMPLE_SPECS, SCENARIOS, scenario_from_dict
-
-    if argument in SCENARIOS:
-        spec = EXAMPLE_SPECS.get(argument, {"kind": argument})
-        return scenario_from_dict(spec)
-    text = argument
-    if not argument.lstrip().startswith("{"):
-        path = Path(argument)
-        if not path.exists():
-            # Not JSON and not a file: treat as a typo'd kind name so the
-            # registry's did-you-mean error surfaces instead of a bare
-            # FileNotFoundError.
-            SCENARIOS.get(argument)
-        text = path.read_text()
-    return scenario_from_dict(json.loads(text))
-
-
-def _run_scenarios(args: argparse.Namespace) -> int:
-    from repro.scenarios import EXAMPLE_SPECS, SCENARIOS, catalog, scenario_from_dict
-
-    if args.scenarios_command == "list":
-        for kind in SCENARIOS.names():
-            print(kind)
-        return 0
-    if args.scenarios_command == "describe":
-        rows = catalog()
-        if args.kind is not None:
-            rows = [row for row in rows if row["kind"] == args.kind]
-            if not rows:
-                # Unknown kind: fail with the registry's did-you-mean message.
-                SCENARIOS.get(args.kind)
-        for row in rows:
-            print(json.dumps(row, indent=2))
-        return 0
-    if args.scenarios_command == "sample":
-        scenario = _load_scenario_argument(args.scenario)
-        stream = scenario.open(args.seed)
-        if args.describe:
-            print(json.dumps(stream.environment.describe()))
-        remaining = args.n
-        while remaining > 0:
-            batch = stream.take(min(args.batch_size, remaining))
-            if not batch:
-                break
-            for point, commodities in batch:
-                print(json.dumps([point, sorted(commodities)]))
-            remaining -= len(batch)
-        return 0
-    if args.scenarios_command == "smoke":
-        # Each registered scenario's catalog example through a quick
-        # OnlineSession run (the CI scenario smoke step).
-        from repro.scenarios.run import ScenarioSession
-
-        header = f"{'scenario':18s} {'n':>6s} {'facilities':>10s} {'total_cost':>12s}"
-        print(header)
-        print("-" * len(header))
-        for kind in SCENARIOS.names():
-            example = EXAMPLE_SPECS.get(kind)
-            if example is None:
-                # Third-party kinds registered without a catalog example.
-                print(f"{kind:18s} (no catalog example; skipped)")
-                continue
-            session = ScenarioSession(
-                {"algorithm": "pd-omflp", "scenario": dict(example), "seed": args.seed}
-            )
-            count = session.stream.length
-            if args.n is not None:
-                count = args.n if count is None else min(count, args.n)
-            session.advance(count)
-            record = session.finalize()
-            print(
-                f"{kind:18s} {record.num_requests:>6d} "
-                f"{record.num_facilities:>10d} {record.total_cost:>12.4f}"
-            )
-        return 0
-    raise ExperimentError(f"unknown scenarios command {args.scenarios_command!r}")
-
-
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.command == "list":
-        for experiment_id in list_experiments():
-            print(experiment_id)
-        return 0
-    if args.command == "run":
-        _run_experiments([args.experiment_id], args)
-        return 0
-    if args.command == "run-all":
-        _run_experiments(list_experiments(), args)
-        return 0
-    if args.command == "experiments":
-        if args.experiments_command == "list":
-            for experiment_id in list_experiments():
-                print(experiment_id)
-            return 0
-        _run_experiments(args.experiment_ids or list_experiments(), args)
-        return 0
-    if args.command == "spec":
-        return _run_specs(args)
-    if args.command == "scenarios":
-        return _run_scenarios(args)
-    if args.command == "serve":
-        # Imported lazily so plain experiment commands do not pay for it.
-        from repro.service import SessionManager, serve
-
-        manager = SessionManager(
-            snapshot_dir=args.snapshot_dir,
-            max_live_sessions=args.max_live_sessions,
-            default_use_accel=not args.no_accel,
-        )
-        serve(manager, sys.stdin, sys.stdout)
-        return 0
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+__all__ = ["main", "build_parser", "SUBCOMMANDS", "Subcommand", "register_subcommand"]
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,61 @@
+"""Static analysis for determinism & contracts — the ``repro lint`` gate.
+
+The library's guarantees (accel/reference bit-equivalence, bit-identical
+snapshot/resume, any-worker-count reproducibility, strict-JSON state) are
+enforced dynamically by the test suite — which can only see a hazard a seed
+happens to hit.  This package is the *static* half: an AST pass over source
+plus an introspection pass over the live component registries, catching the
+hazard classes at review time.
+
+Two rule families ship (see :mod:`repro.lint.determinism` and
+:mod:`repro.lint.contracts`), registered on the string-keyed :data:`RULES`
+registry exactly like algorithms or scenarios — third-party checks plug in
+with ``@RULES.register("my-rule")``.
+
+Suppressions are per-line and must explain themselves::
+
+    self._runtime += time.perf_counter() - start  # repro: noqa[det-wall-clock] -- telemetry only
+
+Usage::
+
+    repro lint src/                 # the CI gate: exit 1 on any finding
+    repro lint --list-rules         # the rule catalog
+
+or programmatically::
+
+    >>> from repro.lint import lint_source
+    >>> result = lint_source("import numpy as np\\nx = np.random.random()\\n")
+    >>> [(f.rule_id, f.line) for f in result.findings]
+    [('det-global-random', 2)]
+"""
+
+# Import order fixes the RULES registration (and catalog) order:
+# determinism rules, then contract rules, then the runner's meta rules.
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, Rule, all_rules, module_rule, project_rule, rule_catalog
+from repro.lint.source import NOQA_PATTERN, SourceFile, Suppression
+from repro.lint import determinism as _determinism  # noqa: F401
+from repro.lint.contracts import ContractContext
+from repro.lint.runner import LintResult, collect_files, lint_paths, lint_source
+from repro.lint.report import render_json, render_rule_table, render_text
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Finding",
+    "LintResult",
+    "SourceFile",
+    "Suppression",
+    "ContractContext",
+    "NOQA_PATTERN",
+    "all_rules",
+    "module_rule",
+    "project_rule",
+    "rule_catalog",
+    "lint_paths",
+    "lint_source",
+    "collect_files",
+    "render_text",
+    "render_json",
+    "render_rule_table",
+]

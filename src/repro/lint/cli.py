@@ -1,0 +1,86 @@
+"""The ``repro lint`` subcommand.
+
+Examples
+--------
+Gate the library itself (this is the CI invocation; exit status 1 on any
+unsuppressed finding)::
+
+    repro lint src/
+
+Machine-readable output, determinism rules only (no library imports — safe
+on third-party user code)::
+
+    repro lint mycode/ --format json --no-contracts
+
+The rule catalog, and a single-rule pass::
+
+    repro lint --list-rules
+    repro lint src/ --select det-set-iteration
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.lint.report import render_json, render_rule_table, render_text
+from repro.lint.runner import lint_paths
+
+__all__ = ["configure_parser", "run"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="path",
+        help="files or directories to lint (e.g. src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE_ID",
+        default=None,
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--no-contracts",
+        action="store_true",
+        help="skip the registry-introspection contract rules (pure AST pass)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings waived by reasoned noqa comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+    paths: List[str] = args.paths
+    if not paths:
+        print("repro lint: no paths given (try 'repro lint src/')")
+        return 2
+    result = lint_paths(
+        paths,
+        select=args.select,
+        contracts=not args.no_contracts,
+    )
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1

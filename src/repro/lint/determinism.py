@@ -1,0 +1,389 @@
+"""Determinism rules: AST passes flagging nondeterminism hazards.
+
+Every guarantee this library makes — accel/reference bit-equivalence,
+snapshot/resume bit-equivalence, any-worker-count reproducibility — assumes
+that all randomness flows through seeded :class:`numpy.random.Generator`
+streams (:mod:`repro.utils.rng`) and that no result depends on memory
+addresses, wall clocks, or hash-table iteration order.  These rules flag the
+code shapes that silently break that assumption:
+
+``det-global-random``
+    Module-level RNG calls (``np.random.random(...)``, ``random.choice(...)``,
+    ``np.random.seed(...)``): they draw from hidden global state shared across
+    the whole process, so results change with call interleaving, worker count
+    and import order.  Generator-bound methods (``rng.random()``) resolve to a
+    local object and are never flagged — they are the blessed API.
+
+``det-unseeded-rng``
+    ``np.random.default_rng()`` / ``SeedSequence()`` / ``random.Random()``
+    with no seed (or a literal ``None``): fresh OS entropy at the call site.
+    Route "fresh entropy" through :func:`repro.utils.rng.ensure_rng` /
+    ``spawn_child_seeds`` so it is normalized to one recorded root seed.
+
+``det-wall-clock``
+    ``time.time`` / ``perf_counter`` / ``datetime.now`` in non-benchmark code.
+    Files under a ``benchmarks/`` directory are exempt; elsewhere wall-clock
+    reads need an explained suppression (runtime *telemetry* is legitimate —
+    anything feeding a decision or a stored result is not).
+
+``det-os-entropy``
+    ``os.urandom``, ``secrets.*``, ``uuid.uuid1``/``uuid4``,
+    ``random.SystemRandom``: unseedable entropy sources.
+
+``det-id-hash-order``
+    ``id()`` / ``hash()`` feeding an ordering (the ``key=`` of ``sorted`` /
+    ``min`` / ``max`` / ``.sort``): ``id`` is a memory address and ``str``
+    hashes are salted per process (``PYTHONHASHSEED``), so the order differs
+    between runs.
+
+``det-set-iteration``
+    Accumulating iteration over a syntactically evident ``set`` (set
+    literal/comprehension, ``set(...)``/``frozenset(...)``, set-algebra method
+    calls): set iteration order follows the salted hash, so anything built
+    from it inherits a per-process order.  Plain ``dict`` iteration is *not*
+    flagged — dicts are insertion-ordered.
+
+``det-unordered-sum``
+    Float reduction (``sum`` / ``math.fsum`` / ``np.sum``) over an unordered
+    iterable: float addition is not associative, so the same multiset of
+    addends in a different order gives a different last bit — which is a
+    different content hash and a failed bit-equivalence gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.rules import module_rule
+from repro.lint.source import SourceFile
+
+__all__: list = []
+
+#: numpy.random attributes that are classes/constructors, not the legacy
+#: global-state functions (calling these does not touch the global stream).
+_NP_RANDOM_NON_GLOBAL = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+_UNSEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+_OS_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4", "random.SystemRandom"}
+
+#: Methods whose receiver is, in idiomatic code, a set — calling them on a
+#: non-set is rare enough that flagging is worth it.
+_SET_ALGEBRA_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+#: Accumulator method calls that make a loop over an unordered iterable
+#: order-sensitive.
+_ACCUMULATOR_METHODS = {"append", "extend", "add", "insert", "update", "write"}
+
+#: Consumers for which the order of a generator argument cannot matter (or is
+#: covered by ``det-unordered-sum`` instead).
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "min",
+    "max",
+    "any",
+    "all",
+    "len",
+    "sum",
+}
+
+
+def _finding(rule_id: str, mod: SourceFile, node: ast.AST, message: str, hint: str) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        path=mod.path,
+        line=getattr(node, "lineno", 1),
+        column=getattr(node, "col_offset", 0) + 1,
+        message=message,
+        hint=hint,
+    )
+
+
+def _call_name(mod: SourceFile, call: ast.Call) -> Optional[str]:
+    return mod.resolve(call.func)
+
+
+# ----------------------------------------------------------------------
+# Global / unseeded randomness
+# ----------------------------------------------------------------------
+@module_rule(
+    "det-global-random",
+    summary="module-level RNG call (np.random.*, random.*) using hidden global state",
+    threat="global streams shift with call interleaving, import order and worker count",
+    hint="draw from a seeded numpy Generator threaded in via repro.utils.rng.ensure_rng",
+)
+def check_global_random(mod: SourceFile) -> Iterator[Finding]:
+    for call in mod.calls():
+        dotted = _call_name(mod, call)
+        if dotted is None:
+            continue
+        if dotted.startswith("numpy.random."):
+            attr = dotted.rsplit(".", 1)[1]
+            if attr not in _NP_RANDOM_NON_GLOBAL:
+                yield _finding(
+                    "det-global-random",
+                    mod,
+                    call,
+                    f"call to global numpy RNG function {dotted}()",
+                    "use a seeded Generator: rng = ensure_rng(seed); rng.%s(...)" % attr,
+                )
+        elif dotted.startswith("random."):
+            attr = dotted.rsplit(".", 1)[1]
+            if attr not in {"Random", "SystemRandom"}:
+                yield _finding(
+                    "det-global-random",
+                    mod,
+                    call,
+                    f"call to stdlib global RNG function {dotted}()",
+                    "use a seeded numpy Generator from repro.utils.rng.ensure_rng",
+                )
+
+
+@module_rule(
+    "det-unseeded-rng",
+    summary="RNG constructed without a seed (fresh OS entropy at the call site)",
+    threat="every run draws a different stream, so no result can be replayed",
+    hint="pass an explicit seed, or normalize None through repro.utils.rng.ensure_rng",
+)
+def check_unseeded_rng(mod: SourceFile) -> Iterator[Finding]:
+    for call in mod.calls():
+        dotted = _call_name(mod, call)
+        if dotted not in _UNSEEDED_CONSTRUCTORS:
+            continue
+        unseeded = not call.args and not call.keywords
+        if call.args and isinstance(call.args[0], ast.Constant) and call.args[0].value is None:
+            unseeded = True
+        if unseeded:
+            yield _finding(
+                "det-unseeded-rng",
+                mod,
+                call,
+                f"{dotted}() constructed without a seed",
+                "thread the run's RandomState through ensure_rng/spawn_child_seeds",
+            )
+
+
+# ----------------------------------------------------------------------
+# Wall clocks and OS entropy
+# ----------------------------------------------------------------------
+@module_rule(
+    "det-wall-clock",
+    summary="wall-clock read (time.time/perf_counter, datetime.now) outside benchmarks/",
+    threat="time-dependent values leak into results and differ on every run and host",
+    hint="derive logical time from the request index; telemetry-only reads get a "
+    "noqa with a reason",
+)
+def check_wall_clock(mod: SourceFile) -> Iterator[Finding]:
+    if "benchmarks" in Path(mod.path).parts:
+        return
+    for call in mod.calls():
+        dotted = _call_name(mod, call)
+        if dotted in _WALL_CLOCK:
+            yield _finding(
+                "det-wall-clock",
+                mod,
+                call,
+                f"wall-clock read {dotted}() in non-benchmark code",
+                "keep clocks out of decision paths; explain telemetry uses in a noqa",
+            )
+
+
+@module_rule(
+    "det-os-entropy",
+    summary="unseedable OS entropy source (os.urandom, secrets, uuid1/uuid4)",
+    threat="values cannot be reproduced from any seed",
+    hint="derive identifiers/bytes from the run's seeded Generator",
+)
+def check_os_entropy(mod: SourceFile) -> Iterator[Finding]:
+    for call in mod.calls():
+        dotted = _call_name(mod, call)
+        if dotted is None:
+            continue
+        if dotted in _OS_ENTROPY or dotted.startswith("secrets."):
+            yield _finding(
+                "det-os-entropy",
+                mod,
+                call,
+                f"unseedable entropy source {dotted}()",
+                "derive the value from a seeded Generator instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# id()/hash() feeding an ordering
+# ----------------------------------------------------------------------
+def _uses_id_or_hash(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id in {"id", "hash"}
+        ):
+            return True
+    return False
+
+
+@module_rule(
+    "det-id-hash-order",
+    summary="id()/hash() used as a sort key",
+    threat="id() is a memory address and str hashes are salted per process "
+    "(PYTHONHASHSEED), so the order differs between runs",
+    hint="sort by a stable attribute of the object (name, index, value)",
+)
+def check_id_hash_order(mod: SourceFile) -> Iterator[Finding]:
+    for call in mod.calls():
+        is_sorter = (
+            isinstance(call.func, ast.Name) and call.func.id in {"sorted", "min", "max"}
+        ) or (isinstance(call.func, ast.Attribute) and call.func.attr == "sort")
+        if not is_sorter:
+            continue
+        for keyword in call.keywords:
+            if keyword.arg != "key":
+                continue
+            value = keyword.value
+            direct = isinstance(value, ast.Name) and value.id in {"id", "hash"}
+            if direct or (isinstance(value, ast.Lambda) and _uses_id_or_hash(value.body)):
+                yield _finding(
+                    "det-id-hash-order",
+                    mod,
+                    call,
+                    "sort key depends on id()/hash()",
+                    "key on a stable, serializable attribute instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# Unordered (set) iteration and float reduction
+# ----------------------------------------------------------------------
+def _is_unordered(mod: SourceFile, node: ast.AST) -> bool:
+    """Whether ``node`` is a syntactically evident unordered iterable (a set)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_ALGEBRA_METHODS:
+            return True
+    return False
+
+
+def _accumulates(body: list) -> bool:
+    """Whether a loop body builds up order-sensitive state."""
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.AugAssign, ast.Yield, ast.YieldFrom)):
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _ACCUMULATOR_METHODS
+            ):
+                return True
+    return False
+
+
+def _generator_consumer(mod: SourceFile, gen: ast.GeneratorExp) -> Optional[str]:
+    """The builtin consuming ``gen`` as a direct call argument, if any."""
+    parent = mod.parent(gen)
+    if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+        if gen in parent.args:
+            return parent.func.id
+    return None
+
+
+@module_rule(
+    "det-set-iteration",
+    summary="accumulating iteration over a set (hash order)",
+    threat="set iteration follows the per-process salted hash order, so every "
+    "structure built from it inherits a run-dependent order",
+    hint="iterate sorted(the_set) (or keep an explicit ordered list alongside)",
+)
+def check_set_iteration(mod: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.For) and _is_unordered(mod, node.iter):
+            if _accumulates(node.body):
+                yield _finding(
+                    "det-set-iteration",
+                    mod,
+                    node.iter,
+                    "loop accumulates results while iterating a set in hash order",
+                    "iterate sorted(...) over the set",
+                )
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            if isinstance(node, ast.GeneratorExp):
+                consumer = _generator_consumer(mod, node)
+                if consumer in _ORDER_INSENSITIVE_CONSUMERS:
+                    continue  # sorted()/set() neutralize order; sum() has its own rule
+            for comp in node.generators:
+                if _is_unordered(mod, comp.iter):
+                    yield _finding(
+                        "det-set-iteration",
+                        mod,
+                        comp.iter,
+                        "comprehension draws from a set in hash order",
+                        "wrap the source in sorted(...)",
+                    )
+
+
+@module_rule(
+    "det-unordered-sum",
+    summary="float reduction (sum/fsum/np.sum) over an unordered iterable",
+    threat="float addition is not associative: a different addend order gives a "
+    "different last bit, which breaks bit-identical equivalence gates",
+    hint="sum over sorted(...) so the reduction order is pinned",
+)
+def check_unordered_sum(mod: SourceFile) -> Iterator[Finding]:
+    for call in mod.calls():
+        is_sum = isinstance(call.func, ast.Name) and call.func.id == "sum"
+        if not is_sum:
+            dotted = _call_name(mod, call)
+            is_sum = dotted in {"math.fsum", "numpy.sum", "numpy.mean"}
+        if not is_sum or not call.args:
+            continue
+        arg = call.args[0]
+        hazard = _is_unordered(mod, arg)
+        if not hazard and isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            hazard = any(_is_unordered(mod, comp.iter) for comp in arg.generators)
+        if hazard:
+            yield _finding(
+                "det-unordered-sum",
+                mod,
+                call,
+                "reduction over a set-ordered iterable",
+                "reduce over sorted(...) to pin the addend order",
+            )

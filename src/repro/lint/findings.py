@@ -1,0 +1,56 @@
+"""The :class:`Finding` model — one diagnostic emitted by a lint rule.
+
+Findings are plain data: a rule id, a ``file:line:col`` anchor, a message
+describing the hazard at that site, and a fix hint.  A finding that a
+``# repro: noqa[rule-id] -- reason`` comment silenced is still carried (with
+``suppressed=True`` and the written reason) so reports can show what was
+waived and why — an unexplained suppression is itself a finding
+(:mod:`repro.lint.suppressions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["Finding"]
+
+
+@dataclass
+class Finding:
+    """One diagnostic: a rule violation anchored to a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor of the finding."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def format(self) -> str:
+        """One-line human-readable rendering (the text report row)."""
+        text = f"{self.location()}: {self.rule_id}: {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        if self.suppressed:
+            text += f"  (suppressed: {self.suppression_reason})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON form used by ``repro lint --format json``."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }

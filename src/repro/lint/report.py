@@ -1,0 +1,47 @@
+"""Rendering lint results: text for humans, JSON for machines."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.rules import rule_catalog
+from repro.lint.runner import LintResult
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+    """The ``repro lint`` text report: one line per finding plus a summary."""
+    lines = [finding.format() for finding in result.findings]
+    if show_suppressed and result.suppressed:
+        lines.append("")
+        lines.append(f"suppressed ({len(result.suppressed)}):")
+        lines.extend(f"  {finding.format()}" for finding in result.suppressed)
+    lines.append("")
+    counts = result.counts()
+    breakdown = ", ".join(f"{rule_id} x{count}" for rule_id, count in counts.items())
+    lines.append(
+        f"{len(result.files)} file(s) scanned: "
+        + (
+            f"{len(result.findings)} finding(s) ({breakdown}), "
+            if result.findings
+            else "no findings, "
+        )
+        + f"{len(result.suppressed)} suppressed with reasons"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The ``repro lint --format json`` document (one stable top-level dict)."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=False)
+
+
+def render_rule_table() -> str:
+    """The ``repro lint --list-rules`` catalog."""
+    rows = rule_catalog()
+    width = max(len(row["id"]) for row in rows)
+    lines = [f"{'rule':{width}s}  family       what it catches", "-" * (width + 40)]
+    for row in rows:
+        lines.append(f"{row['id']:{width}s}  {row['family']:11s}  {row['summary']}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""The rule framework and the string-keyed :data:`RULES` registry.
+
+Rules mirror the library's component registries
+(:class:`repro.api.registry.Registry`): each rule id maps to a zero-argument
+builder returning a :class:`Rule`.  Third-party checks plug in the same way
+algorithms or scenarios do::
+
+    from repro.lint import RULES, Rule
+
+    @RULES.register("my-rule")
+    def _build():
+        return Rule(id="my-rule", family="determinism", ..., check_module=my_check)
+
+Two rule shapes exist:
+
+* **module rules** (``check_module``) — pure AST passes over one
+  :class:`~repro.lint.source.SourceFile` at a time; the determinism family
+  (:mod:`repro.lint.determinism`) lives here;
+* **project rules** (``check_project``) — registry-introspection passes over
+  the live component registries; the contract family
+  (:mod:`repro.lint.contracts`) lives here and anchors findings to the
+  *defining* source line of the offending class via :mod:`inspect`.
+
+``family="meta"`` rules (parse errors, malformed suppressions) are emitted by
+the runner itself and exist in the registry only so the catalog and JSON
+schema can describe them; they cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+from repro.api.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.lint.contracts import ContractContext
+    from repro.lint.findings import Finding
+    from repro.lint.source import SourceFile
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "module_rule",
+    "project_rule",
+    "meta_rule",
+    "all_rules",
+    "rule_catalog",
+]
+
+ModuleCheck = Callable[["SourceFile"], Iterable["Finding"]]
+ProjectCheck = Callable[["ContractContext"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, documentation, and its check callable."""
+
+    #: Stable kebab-case id (``det-*`` determinism, ``con-*`` contract).
+    id: str
+    #: ``"determinism"``, ``"contract"`` or ``"meta"``.
+    family: str
+    #: One line: what the rule catches.
+    summary: str
+    #: One line: why the hazard threatens reproducibility.
+    threat: str
+    #: One line: how to fix a true positive.
+    hint: str
+    check_module: Optional[ModuleCheck] = field(default=None, compare=False)
+    check_project: Optional[ProjectCheck] = field(default=None, compare=False)
+
+    def describe(self) -> Dict[str, str]:
+        """Catalog row (``repro lint --list-rules`` and the README table)."""
+        return {
+            "id": self.id,
+            "family": self.family,
+            "summary": self.summary,
+            "threat": self.threat,
+            "hint": self.hint,
+        }
+
+
+#: The rule registry; importing :mod:`repro.lint` registers the stock rules.
+RULES = Registry("lint rule")
+
+
+def module_rule(
+    rule_id: str, *, family: str = "determinism", summary: str, threat: str, hint: str
+) -> Callable[[ModuleCheck], ModuleCheck]:
+    """Decorator: register ``fn`` as the AST check of a per-module rule."""
+
+    def decorator(fn: ModuleCheck) -> ModuleCheck:
+        RULES.add(
+            rule_id,
+            lambda: Rule(
+                id=rule_id,
+                family=family,
+                summary=summary,
+                threat=threat,
+                hint=hint,
+                check_module=fn,
+            ),
+        )
+        return fn
+
+    return decorator
+
+
+def project_rule(
+    rule_id: str, *, family: str = "contract", summary: str, threat: str, hint: str
+) -> Callable[[ProjectCheck], ProjectCheck]:
+    """Decorator: register ``fn`` as a registry-introspection project rule."""
+
+    def decorator(fn: ProjectCheck) -> ProjectCheck:
+        RULES.add(
+            rule_id,
+            lambda: Rule(
+                id=rule_id,
+                family=family,
+                summary=summary,
+                threat=threat,
+                hint=hint,
+                check_project=fn,
+            ),
+        )
+        return fn
+
+    return decorator
+
+
+def meta_rule(rule_id: str, *, summary: str, threat: str, hint: str) -> None:
+    """Register a runner-emitted rule that has no check callable of its own."""
+    RULES.add(
+        rule_id,
+        lambda: Rule(id=rule_id, family="meta", summary=summary, threat=threat, hint=hint),
+    )
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Build every registered rule (or the ``select`` subset), in id order.
+
+    Unknown ids in ``select`` raise the registry's
+    :class:`~repro.exceptions.UnknownComponentError` with a did-you-mean
+    suggestion, exactly like any other component lookup.
+    """
+    names = list(select) if select is not None else RULES.names()
+    return [RULES.build(name) for name in names]
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """Catalog rows for every registered rule, in registration order."""
+    return [RULES.build(name).describe() for name in RULES.names()]

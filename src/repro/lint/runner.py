@@ -1,0 +1,252 @@
+"""The lint runner: collect files, run rules, enforce suppressions.
+
+:func:`lint_paths` is the single entry point behind both the ``repro lint``
+CLI and the meta-tests: it walks the given files/directories, runs every
+module rule over each parsed file, runs the project (contract) rules once,
+and then applies the suppression protocol:
+
+* a finding whose line carries ``# repro: noqa[its-rule-id] -- reason``
+  becomes *suppressed* (kept in the report, excluded from the exit status);
+* a matching noqa **without** a reason does *not* suppress — the hazard stays
+  active and the comment itself is reported as ``noqa-missing-reason``;
+* a noqa naming an unregistered rule id is reported as ``noqa-unknown-rule``
+  (typo'd suppressions must not silently stop suppressing after a rename);
+* a file that does not parse is reported as ``parse-error``.
+
+Meta findings (the three above) can never be suppressed: they are findings
+*about* the suppression mechanism itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, all_rules, meta_rule
+from repro.lint.source import SourceFile
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "collect_files"]
+
+meta_rule(
+    "parse-error",
+    summary="file could not be parsed as Python",
+    threat="unparseable code cannot be checked at all",
+    hint="fix the syntax error",
+)
+meta_rule(
+    "noqa-missing-reason",
+    summary="repro: noqa[...] without a '-- reason'",
+    threat="an unexplained waiver hides whether the hazard was ever assessed",
+    hint="append '-- <why this hazard is acceptable here>'",
+)
+meta_rule(
+    "noqa-unknown-rule",
+    summary="repro: noqa[...] naming an unregistered rule id",
+    threat="a typo'd id suppresses nothing and rots silently",
+    hint="use an id from 'repro lint --list-rules'",
+)
+
+#: Meta rule ids; emitted by the runner and exempt from suppression.
+_META_RULES = ("parse-error", "noqa-missing-reason", "noqa-unknown-rule")
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint pass."""
+
+    #: Active findings (these fail the gate), in path/line order.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings waived by a reasoned suppression.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Files scanned by the AST rules.
+    files: List[str] = field(default_factory=list)
+    #: Ids of the rules that ran.
+    rule_ids: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        """Active finding count per rule id (only rules that fired)."""
+        totals: Dict[str, int] = {}
+        for finding in self.findings:
+            totals[finding.rule_id] = totals.get(finding.rule_id, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``repro lint --format json`` document."""
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_scanned": len(self.files),
+            "rules": list(self.rule_ids),
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+
+def collect_files(paths: Sequence[Any]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(str(item) for item in sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.exists():
+            files.append(str(path))
+        elif not path.exists():
+            raise ReproError(f"lint target {str(path)!r} does not exist")
+    return files
+
+
+def _run_module_rules(rules: Iterable[Rule], module: SourceFile) -> List[Finding]:
+    found: List[Finding] = []
+    for rule in rules:
+        if rule.check_module is not None:
+            found.extend(rule.check_module(module))
+    return found
+
+
+def _noqa_findings(module: SourceFile, known_ids: Iterable[str]) -> List[Finding]:
+    known = set(known_ids)
+    found: List[Finding] = []
+    for suppression in module.suppressions.values():
+        if suppression.reason is None:
+            found.append(
+                Finding(
+                    rule_id="noqa-missing-reason",
+                    path=module.path,
+                    line=suppression.line,
+                    column=1,
+                    message="suppression has no written reason (and therefore "
+                    "suppresses nothing)",
+                    hint="append '-- <why this hazard is acceptable here>'",
+                )
+            )
+        for rule_id in suppression.rule_ids:
+            if rule_id not in known:
+                found.append(
+                    Finding(
+                        rule_id="noqa-unknown-rule",
+                        path=module.path,
+                        line=suppression.line,
+                        column=1,
+                        message=f"suppression names unknown rule id {rule_id!r}",
+                        hint="use an id from 'repro lint --list-rules'",
+                    )
+                )
+    return found
+
+
+def _apply_suppressions(
+    findings: List[Finding],
+    modules: Dict[str, SourceFile],
+    result: LintResult,
+) -> None:
+    """Route each finding to active/suppressed per its line's noqa comment."""
+    for finding in findings:
+        module = modules.get(finding.path)
+        if module is None and finding.rule_id not in _META_RULES:
+            # Contract findings may anchor outside the scanned set; load the
+            # anchor file lazily so its suppressions still apply.
+            try:
+                module = SourceFile.from_path(finding.path)
+                modules[finding.path] = module
+            except (OSError, SyntaxError, ValueError):
+                module = None
+        suppression = module.suppression_at(finding.line) if module else None
+        if (
+            finding.rule_id not in _META_RULES
+            and suppression is not None
+            and suppression.covers(finding.rule_id)
+            and suppression.reason
+        ):
+            finding.suppressed = True
+            finding.suppression_reason = suppression.reason
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+
+
+def lint_paths(
+    paths: Sequence[Any],
+    *,
+    select: Optional[Sequence[str]] = None,
+    contracts: bool = True,
+    contract_context: Optional[Any] = None,
+) -> LintResult:
+    """Lint files/directories (module rules) plus the registries (contracts).
+
+    ``select`` restricts the pass to the named rule ids; ``contracts=False``
+    skips the registry-introspection rules (pure-AST mode, no library
+    imports — right for linting third-party user code).
+    """
+    rules = all_rules(select)
+    result = LintResult(rule_ids=[rule.id for rule in rules])
+    modules: Dict[str, SourceFile] = {}
+    raw: List[Finding] = []
+
+    for path in collect_files(paths):
+        result.files.append(path)
+        try:
+            module = SourceFile.from_path(path)
+        except SyntaxError as error:
+            raw.append(
+                Finding(
+                    rule_id="parse-error",
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    message=f"file does not parse: {error.msg}",
+                    hint="fix the syntax error",
+                )
+            )
+            continue
+        modules[path] = module
+        raw.extend(_run_module_rules(rules, module))
+        raw.extend(_noqa_findings(module, (r.id for r in rules)))
+
+    if contracts:
+        from repro.lint.contracts import ContractContext
+
+        ctx = contract_context if contract_context is not None else ContractContext()
+        for rule in rules:
+            if rule.check_project is not None:
+                raw.extend(rule.check_project(ctx))
+
+    raw.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    _apply_suppressions(raw, modules, result)
+    return result
+
+
+def lint_source(
+    text: str, path: str = "<string>", *, select: Optional[Sequence[str]] = None
+) -> LintResult:
+    """Lint one in-memory source string with the module rules only."""
+    rules = all_rules(select)
+    result = LintResult(rule_ids=[rule.id for rule in rules])
+    try:
+        module = SourceFile(path, text)
+    except SyntaxError as error:
+        result.findings.append(
+            Finding(
+                rule_id="parse-error",
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 0) + 1,
+                message=f"source does not parse: {error.msg}",
+                hint="fix the syntax error",
+            )
+        )
+        return result
+    result.files.append(path)
+    raw = _run_module_rules(rules, module)
+    raw.extend(_noqa_findings(module, (r.id for r in rules)))
+    raw.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    _apply_suppressions(raw, {path: module}, result)
+    return result

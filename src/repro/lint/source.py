@@ -1,0 +1,153 @@
+"""Parsed source files: AST, import-alias resolution, and noqa suppressions.
+
+:class:`SourceFile` is the unit every AST rule operates on.  Beyond the parse
+tree it precomputes the two things rules keep needing:
+
+* **dotted-name resolution** — an import table mapping local aliases back to
+  canonical module paths, so ``np.random.random(...)``,
+  ``from numpy import random as npr; npr.random(...)`` and
+  ``from time import perf_counter; perf_counter()`` all resolve to the same
+  canonical names (``numpy.random.random``, ``time.perf_counter``) no matter
+  how the module spelled its imports;
+* **parent links** — ``parent(node)`` lets a rule ask what consumes an
+  expression (e.g. a generator over a ``set`` is harmless inside
+  ``sorted(...)`` but a hazard inside ``list(...)``).
+
+Suppression comments use the form::
+
+    hazardous_call()  # repro: noqa[rule-id] -- reason the hazard is acceptable
+
+Multiple rule ids are comma-separated inside the brackets.  The reason after
+``--`` is mandatory; a bare ``noqa[rule-id]`` does **not** suppress and is
+reported as ``noqa-missing-reason`` (see :mod:`repro.lint.suppressions`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["SourceFile", "Suppression", "NOQA_PATTERN"]
+
+#: Matches ``repro: noqa`` comments: comma-separated rule ids in brackets,
+#: then an optional ``-- reason`` (its absence is enforced as a finding by
+#: the runner, not as a parse error here).
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: Optional[str]
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rule_ids
+
+
+class SourceFile:
+    """One parsed Python source file plus the lint-relevant derived maps."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.Module = ast.parse(text, filename=path)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._aliases = self._build_alias_table()
+        self.suppressions: Dict[int, Suppression] = self._scan_suppressions()
+
+    @classmethod
+    def from_path(cls, path: str) -> "SourceFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(path, handle.read())
+
+    # ------------------------------------------------------------------
+    # Import-alias resolution
+    # ------------------------------------------------------------------
+    def _build_alias_table(self) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    # ``import a.b`` binds the *top* package name ``a``.
+                    target = name.name if name.asname else name.name.split(".")[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports cannot name stdlib hazards
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    aliases[local] = f"{node.module}.{name.name}"
+        return aliases
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The canonical dotted name of an attribute/name chain, if importable.
+
+        ``None`` when the chain does not bottom out in an imported module
+        alias (e.g. method calls on local objects — ``rng.shuffle(...)`` stays
+        unresolved, which is exactly right: generator-bound methods are the
+        *seeded* API).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(node)
+
+    def calls(self) -> Iterator[ast.Call]:
+        """All call expressions in the module, in document order."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                yield node
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+    def _scan_suppressions(self) -> Dict[int, Suppression]:
+        # Real COMMENT tokens only: a noqa-shaped string inside a docstring or
+        # string literal (e.g. documentation *about* the mechanism) is text,
+        # not a suppression.
+        found: Dict[int, Suppression] = {}
+        reader = io.StringIO(self.text).readline
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = NOQA_PATTERN.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            rule_ids = tuple(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            found[line] = Suppression(
+                line=line, rule_ids=rule_ids, reason=match.group("reason")
+            )
+        return found
+
+    def suppression_at(self, line: int) -> Optional[Suppression]:
+        return self.suppressions.get(line)

@@ -12,7 +12,7 @@ and predicted values side by side.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.core.instance import Instance
 from repro.costs.count_based import PowerCost

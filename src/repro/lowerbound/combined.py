@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.algorithms.base import OnlineAlgorithm
 from repro.lowerbound.fotakis_line import AdaptiveLineGameResult, run_adaptive_line_game

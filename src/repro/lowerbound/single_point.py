@@ -20,13 +20,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.algorithms.base import OnlineAlgorithm, OnlineResult, run_online
 from repro.core.instance import Instance
-from repro.core.requests import Request, RequestSequence
+from repro.core.requests import RequestSequence
 from repro.core.trace import FacilityOpenedEvent
 from repro.costs.base import FacilityCostFunction
 from repro.costs.count_based import AdversaryCost

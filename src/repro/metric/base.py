@@ -15,8 +15,7 @@ only for spaces small enough for that to be sensible).
 from __future__ import annotations
 
 import abc
-import itertools
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import networkx as nx
 import numpy as np

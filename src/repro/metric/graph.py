@@ -10,7 +10,7 @@ lookup.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Sequence
+from typing import Dict, Hashable
 
 import networkx as nx
 import numpy as np

@@ -7,7 +7,7 @@ Fotakis lower bound for online facility location is a line construction.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -7,10 +7,8 @@ Tardos on hierarchical facility costs cited in Section 1.2 of the paper.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
 
 import networkx as nx
-import numpy as np
 
 from repro.exceptions import InvalidMetricError
 from repro.metric.graph import GraphMetric

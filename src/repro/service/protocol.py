@@ -46,7 +46,7 @@ Operations
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, Mapping, Optional
+from typing import Any, Dict, IO, Mapping
 
 from repro.exceptions import ReproError
 from repro.service.manager import SessionManager

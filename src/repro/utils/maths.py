@@ -12,7 +12,6 @@ agree on the exact same definitions.
 from __future__ import annotations
 
 import math
-from typing import Iterable
 
 import numpy as np
 

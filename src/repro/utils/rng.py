@@ -11,7 +11,7 @@ produce bit-identical results (a requirement of the sweep-executor tests).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Sequence, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 

@@ -10,7 +10,6 @@ requests.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 

@@ -21,7 +21,7 @@ This generator realizes that story end to end:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
-import numpy as np
 
 from repro.core.commodities import CommodityUniverse
 from repro.core.instance import Instance

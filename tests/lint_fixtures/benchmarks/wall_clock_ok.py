@@ -1,0 +1,9 @@
+"""Fixture: files under a ``benchmarks/`` directory are wall-clock exempt."""
+
+import time
+
+
+def timed_section():
+    start = time.perf_counter()
+    end = time.time()
+    return end - start

@@ -1,0 +1,27 @@
+"""Fixture: ``det-global-random`` positives and negatives.
+
+Lines carrying an EXPECT marker comment must be flagged; every other line
+must stay clean (the fixture test compares the finding sets exactly).
+"""
+
+import random
+
+import numpy as np
+from numpy import random as npr
+
+
+def positives():
+    a = np.random.random()  # EXPECT: det-global-random
+    np.random.seed(0)  # EXPECT: det-global-random
+    b = npr.choice([1, 2, 3])  # EXPECT: det-global-random
+    c = random.randint(0, 10)  # EXPECT: det-global-random
+    random.shuffle([1, 2, 3])  # EXPECT: det-global-random
+    return a, b, c
+
+
+def negatives(seed):
+    rng = np.random.default_rng(seed)
+    first = rng.random()
+    second = np.random.Generator(np.random.PCG64(seed)).random()
+    third = random.Random(seed).random()
+    return first, second, third

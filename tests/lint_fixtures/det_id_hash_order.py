@@ -1,0 +1,17 @@
+"""Fixture: ``det-id-hash-order`` positives and negatives."""
+
+
+def positives(items):
+    a = sorted(items, key=id)  # EXPECT: det-id-hash-order
+    items.sort(key=hash)  # EXPECT: det-id-hash-order
+    b = min(items, key=lambda item: hash(item))  # EXPECT: det-id-hash-order
+    c = max(items, key=lambda item: id(item) % 7)  # EXPECT: det-id-hash-order
+    return a, b, c
+
+
+def negatives(items):
+    a = sorted(items, key=len)
+    b = sorted(items, key=lambda item: item.name)
+    c = min(items, key=abs)
+    items.sort()
+    return a, b, c

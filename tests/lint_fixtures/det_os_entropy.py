@@ -1,0 +1,21 @@
+"""Fixture: ``det-os-entropy`` positives and negatives."""
+
+import os
+import random
+import secrets
+import uuid
+
+
+def positives():
+    a = os.urandom(8)  # EXPECT: det-os-entropy
+    b = uuid.uuid4()  # EXPECT: det-os-entropy
+    c = uuid.uuid1()  # EXPECT: det-os-entropy
+    d = secrets.token_hex(4)  # EXPECT: det-os-entropy
+    e = random.SystemRandom()  # EXPECT: det-os-entropy
+    return a, b, c, d, e
+
+
+def negatives():
+    stable = uuid.uuid5(uuid.NAMESPACE_DNS, "repro")
+    path = os.urandom  # a bare reference is not a call
+    return stable, path

@@ -1,0 +1,38 @@
+"""Fixture: ``det-set-iteration`` positives and negatives."""
+
+
+def positive_loop_append(values):
+    out = []
+    for value in set(values):  # EXPECT: det-set-iteration
+        out.append(value)
+    return out
+
+
+def positive_loop_augassign(a, b):
+    total = ""
+    for value in a.union(b):  # EXPECT: det-set-iteration
+        total += str(value)
+    return total
+
+
+def positive_loop_yield(values):
+    for value in frozenset(values):  # EXPECT: det-set-iteration
+        yield value
+
+
+def positive_comprehension(values):
+    return [value + 1 for value in set(values)]  # EXPECT: det-set-iteration
+
+
+def positive_dict_comprehension(values):
+    return {value: 0 for value in {v for v in values}}  # EXPECT: det-set-iteration
+
+
+def negatives(values, mapping):
+    ordered = [value + 1 for value in sorted(set(values))]
+    smallest = min(value for value in set(values))
+    as_set = {value for value in values}
+    by_key = [mapping[key] for key in mapping]
+    for value in set(values):
+        print(value)
+    return ordered, smallest, as_set, by_key

@@ -1,0 +1,21 @@
+"""Fixture: ``det-unordered-sum`` positives and negatives."""
+
+import math
+
+import numpy as np
+
+
+def positives(values, weights):
+    a = sum({float(v) for v in values})  # EXPECT: det-unordered-sum
+    b = sum(w for w in set(weights))  # EXPECT: det-unordered-sum
+    c = math.fsum(set(values))  # EXPECT: det-unordered-sum
+    d = np.sum(frozenset(weights))  # EXPECT: det-unordered-sum
+    return a, b, c, d
+
+
+def negatives(values, weights):
+    a = sum(sorted(set(values)))
+    b = sum([float(v) for v in values])
+    c = math.fsum(sorted(weights))
+    d = np.sum(np.asarray(values))
+    return a, b, c, d

@@ -1,0 +1,22 @@
+"""Fixture: ``det-unseeded-rng`` positives and negatives."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def positives():
+    a = np.random.default_rng()  # EXPECT: det-unseeded-rng
+    b = default_rng(None)  # EXPECT: det-unseeded-rng
+    c = random.Random()  # EXPECT: det-unseeded-rng
+    d = np.random.SeedSequence()  # EXPECT: det-unseeded-rng
+    return a, b, c, d
+
+
+def negatives(seed):
+    a = np.random.default_rng(0)
+    b = default_rng(seed)
+    c = random.Random(17)
+    d = np.random.SeedSequence(entropy=seed)
+    return a, b, c, d

@@ -1,0 +1,24 @@
+"""Fixture: ``det-wall-clock`` positives, negatives and a reasoned waiver."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def positives():
+    a = time.time()  # EXPECT: det-wall-clock
+    b = perf_counter()  # EXPECT: det-wall-clock
+    c = datetime.datetime.now()  # EXPECT: det-wall-clock
+    d = time.monotonic_ns()  # EXPECT: det-wall-clock
+    return a, b, c, d
+
+
+def waived():
+    # A reasoned suppression keeps the line out of the active findings.
+    return time.monotonic()  # repro: noqa[det-wall-clock] -- fixture: telemetry only
+
+
+def negatives(request_index):
+    logical_time = request_index + 1
+    stamp = datetime.timedelta(seconds=3)
+    return logical_time, stamp
