@@ -34,7 +34,17 @@ from __future__ import annotations
 import copy
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -49,6 +59,9 @@ from repro.costs.base import FacilityCostFunction
 from repro.exceptions import AlgorithmError, SnapshotError
 from repro.metric.base import MetricSpace
 from repro.utils.rng import RandomState, ensure_rng, rng_from_state, rng_state
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, types only
+    from repro.telemetry.sink import TelemetrySink
 
 __all__ = ["AssignmentEvent", "OnlineSession"]
 
@@ -128,6 +141,12 @@ class AssignmentEvent:
         )
 
 
+#: How many served events accumulate before the session fans them out to the
+#: telemetry sink (see OnlineSession._flush_telemetry).  Small enough that the
+#: batch stays in L1, large enough to amortize the probes' cache refill.
+_TELEMETRY_FLUSH_EVERY = 64
+
+
 class OnlineSession:
     """An online algorithm run fed one request at a time.
 
@@ -166,6 +185,14 @@ class OnlineSession:
         Streaming sessions leave this unset (the future is unknown); the batch
         shim :func:`~repro.algorithms.base.run_online` sets it so algorithms
         that inspect ``instance.requests`` keep their pre-session semantics.
+    telemetry:
+        Opt-in streaming metrics (:mod:`repro.telemetry`).  ``True`` attaches
+        the stock probe catalog; a list of probe names/spec dicts or a
+        prebuilt :class:`~repro.telemetry.sink.TelemetrySink` selects probes
+        explicitly; ``None`` (the default) disables telemetry entirely.
+        Telemetry is passive: probes only read the served events (and the
+        wall-clock time the session measures anyway), never the session's
+        RNG or state, so enabling it is bit-identical to running without it.
     """
 
     def __init__(
@@ -181,6 +208,7 @@ class OnlineSession:
         use_accel: bool = True,
         name: str = "session",
         instance: Optional[Instance] = None,
+        telemetry: Any = None,
     ) -> None:
         self._algorithm = algorithm
         self._seed = int(rng) if isinstance(rng, (int, np.integer)) else None
@@ -203,6 +231,21 @@ class OnlineSession:
         self._requests: list[Request] = []
         self._runtime = 0.0
         self._record: Optional[RunRecord] = None
+        # Served events waiting to be fanned out to the telemetry sink; see
+        # _flush_telemetry for why delivery is micro-batched.
+        self._telemetry_pending: list[Tuple["AssignmentEvent", float]] = []
+        if telemetry is None or telemetry is False:
+            self._telemetry = None
+        else:
+            # Imported lazily: repro.telemetry depends on this module (probes
+            # consume AssignmentEvent), so a top-level import would be a cycle.
+            from repro.telemetry.sink import TelemetrySink
+
+            self._telemetry = TelemetrySink.coerce(telemetry)
+            if self._telemetry is not None:
+                self._telemetry.bind(
+                    self._instance.metric, self._instance.cost_function
+                )
         start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
         algorithm.prepare(self._instance, self._state, self._rng)
         self._runtime += time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
@@ -240,6 +283,43 @@ class OnlineSession:
     def finalized(self) -> bool:
         return self._record is not None
 
+    @property
+    def runtime_seconds(self) -> float:
+        """Wall-clock seconds spent inside the algorithm so far."""
+        return self._runtime
+
+    @property
+    def telemetry(self) -> Optional["TelemetrySink"]:
+        """The attached telemetry sink (``None`` when telemetry is disabled)."""
+        self._flush_telemetry()
+        return self._telemetry
+
+    def telemetry_summary(self) -> Optional[Dict[str, Any]]:
+        """``{probe kind: summary}`` of the attached sink, ``None`` if disabled."""
+        if self._telemetry is None:
+            return None
+        self._flush_telemetry()
+        return self._telemetry.summary()
+
+    def _flush_telemetry(self) -> None:
+        """Fan the pending events out to every probe, in arrival order.
+
+        Delivery is micro-batched (every ``_TELEMETRY_FLUSH_EVERY`` submits,
+        plus before any read of the sink): between two requests the algorithm
+        churns through enough metric/NumPy state to evict the probes'
+        accumulators from cache, so per-event fan-out pays a cache miss per
+        counter while a short batch pays it once.  Probes still see every
+        event exactly once, in order — only the *when* changes, and every
+        externally observable read point flushes first.
+        """
+        pending = self._telemetry_pending
+        if not pending:
+            return
+        sink = self._telemetry
+        if sink is not None:
+            sink.record_batch(pending)
+        pending.clear()
+
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
@@ -263,7 +343,8 @@ class OnlineSession:
         connection_before = self._state.current_connection_cost()
         start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
         self._algorithm.process(request, self._state, self._rng)
-        self._runtime += time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
+        elapsed = time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
+        self._runtime += elapsed
         try:
             assignment = self._state.assignment_of(request.index)
         except KeyError as error:
@@ -275,7 +356,7 @@ class OnlineSession:
 
         opening_after = self._state.current_opening_cost()
         connection_after = self._state.current_connection_cost()
-        return AssignmentEvent(
+        event = AssignmentEvent(
             request_index=request.index,
             point=request.point,
             commodities=request.commodities,
@@ -285,6 +366,13 @@ class OnlineSession:
             opening_cost_so_far=opening_after,
             connection_cost_so_far=connection_after,
         )
+        if self._telemetry is not None:
+            # Probes reuse the elapsed time measured above — no extra clock
+            # reads, no RNG draws, nothing fed back into the algorithm.
+            self._telemetry_pending.append((event, elapsed))
+            if len(self._telemetry_pending) >= _TELEMETRY_FLUSH_EVERY:
+                self._flush_telemetry()
+        return event
 
     def submit_many(self, items: Iterable[Tuple[int, Iterable[int]]]) -> list[AssignmentEvent]:
         """Serve a burst of ``(point, commodities)`` arrivals in order."""
@@ -321,6 +409,7 @@ class OnlineSession:
 
         if self._record is not None:
             raise SnapshotError("cannot snapshot a finalized session")
+        self._flush_telemetry()
         return SessionSnapshot(
             algorithm=self._algorithm.name,
             algorithm_state=self._algorithm.state_dict(),
@@ -336,6 +425,9 @@ class OnlineSession:
             spec=copy.deepcopy(spec) if spec is not None else None,
             scenario_state=copy.deepcopy(scenario_state)
             if scenario_state is not None
+            else None,
+            telemetry=self._telemetry.state_dict()
+            if self._telemetry is not None
             else None,
         )
 
@@ -428,6 +520,12 @@ class OnlineSession:
         session._seed = snapshot.seed
         session._initial_rng_state = copy.deepcopy(snapshot.initial_rng_state)
         session._runtime = float(snapshot.runtime_seconds)
+        if snapshot.telemetry is not None:
+            from repro.telemetry.sink import TelemetrySink
+
+            sink = TelemetrySink.from_state_dict(snapshot.telemetry)
+            sink.bind(metric, cost)
+            session._telemetry = sink
         return session
 
     # ------------------------------------------------------------------
@@ -442,6 +540,7 @@ class OnlineSession:
         """
         if self._record is not None:
             return self._record
+        self._flush_telemetry()
         requests = RequestSequence(self._requests)
         solution = self._state.to_solution()
         if self._validate:

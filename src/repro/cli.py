@@ -51,6 +51,13 @@ bit-identically::
       '{"op": "submit", "name": "east", "point": 1, "commodities": [0, 2]}' \
       '{"op": "shutdown"}' | repro serve --snapshot-dir state/
 
+Render a result-store sweep to self-contained markdown + HTML dashboards,
+diffing per-task column means against a committed regression baseline
+(nonzero exit on drift, so usable as a CI ratio gate)::
+
+    repro report --store results/store --out report/ \
+        --baseline benchmarks/baselines/report_quick.json
+
 Check the tree for determinism hazards and registry-contract violations
 (:mod:`repro.lint`; nonzero exit on findings, so usable as a CI gate)::
 
@@ -500,6 +507,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     serve(manager, sys.stdin, sys.stdout)
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro report
+# ----------------------------------------------------------------------
+def _configure_report(parser: argparse.ArgumentParser) -> None:
+    from repro.telemetry.cli import configure_parser
+
+    configure_parser(parser)
+
+
+@register_subcommand(
+    "report",
+    "render a result store or RunRecord files to markdown/HTML dashboards",
+    configure=_configure_report,
+)
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.cli import run
+
+    return run(args)
 
 
 # ----------------------------------------------------------------------

@@ -35,12 +35,16 @@ class TaskResult:
 
     ``rows`` is always a list (single-row task functions are normalized);
     ``reused`` marks results served from the store instead of computed.
+    ``telemetry`` is the engine's per-task telemetry row (identity, row
+    count, runtime, reuse flag) — persisted into the result store alongside
+    the rows and rendered by ``repro report``.
     """
 
     task: EngineTask
     rows: List[Dict[str, Any]]
     runtime_seconds: float
     reused: bool = False
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def row(self) -> Dict[str, Any]:
@@ -78,8 +82,34 @@ class PlanResult:
         """Summed per-task runtimes (compute time, not wall-clock)."""
         return sum(result.runtime_seconds for result in self.results)
 
+    def telemetry_rows(self) -> List[Dict[str, Any]]:
+        """One engine-telemetry row per task, in case order."""
+        return [
+            dict(result.telemetry)
+            for result in self.results
+            if result.telemetry is not None
+        ]
+
     def __len__(self) -> int:
         return len(self.results)
+
+
+def _task_telemetry(
+    task: EngineTask,
+    *,
+    rows: Sequence[Mapping[str, Any]],
+    runtime_seconds: float,
+    reused: bool,
+) -> Dict[str, Any]:
+    """The engine's per-task telemetry row (strict JSON, report-renderable)."""
+    return {
+        "task": task.task if isinstance(task.task, str) else getattr(task.task, "__name__", "callable"),
+        "index": task.index,
+        "seed": task.seed,
+        "rows": len(rows),
+        "runtime_seconds": runtime_seconds,
+        "reused": reused,
+    }
 
 
 def _resolve(task: TaskRef):
@@ -173,6 +203,12 @@ def run_plan(
                     rows=[dict(row) for row in hit["rows"]],
                     runtime_seconds=float(hit["runtime_seconds"]),
                     reused=True,
+                    telemetry=_task_telemetry(
+                        task,
+                        rows=hit["rows"],
+                        runtime_seconds=float(hit["runtime_seconds"]),
+                        reused=True,
+                    ),
                 )
                 continue
         pending.append(task)
@@ -186,7 +222,12 @@ def run_plan(
             config=config,
         )
         for task, (rows, runtime) in zip(pending, outcomes):
-            results[task.index] = TaskResult(task=task, rows=rows, runtime_seconds=runtime)
+            telemetry = _task_telemetry(
+                task, rows=rows, runtime_seconds=runtime, reused=False
+            )
+            results[task.index] = TaskResult(
+                task=task, rows=rows, runtime_seconds=runtime, telemetry=telemetry
+            )
             if store is not None:
                 # Persisted in the parent after the gather: one writer, and
                 # the atomic rename makes concurrent stores safe anyway.
@@ -198,6 +239,7 @@ def run_plan(
                     rows=rows,
                     runtime_seconds=runtime,
                     plan=plan.name,
+                    telemetry=telemetry,
                 )
 
     return PlanResult(plan=plan, results=[result for result in results if result is not None])

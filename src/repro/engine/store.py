@@ -125,8 +125,14 @@ class ResultStore:
         rows: List[Dict[str, Any]],
         runtime_seconds: float,
         plan: Optional[str] = None,
+        telemetry: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        """Persist one task result atomically; returns the entry path."""
+        """Persist one task result atomically; returns the entry path.
+
+        ``telemetry`` optionally attaches the engine's per-task telemetry row
+        (see :meth:`repro.engine.executor.PlanResult.telemetry_rows`); being
+        an additive optional key, entries without it keep reading unchanged.
+        """
         payload = {
             "format": STORE_FORMAT,
             "version": STORE_VERSION,
@@ -139,6 +145,8 @@ class ResultStore:
         }
         if plan is not None:
             payload["plan"] = plan
+        if telemetry is not None:
+            payload["telemetry"] = _encode(telemetry)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Insertion order is preserved (no sort_keys): reused rows must come

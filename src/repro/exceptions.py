@@ -21,6 +21,7 @@ __all__ = [
     "SnapshotError",
     "ServiceError",
     "ScenarioError",
+    "TelemetryError",
 ]
 
 
@@ -113,4 +114,13 @@ class ScenarioError(ReproError):
     invalid or out-of-range scenario parameters (always naming the offending
     key), incompatible combinator children, realizing an unbounded stream
     without a limit, or resuming a stream from a mismatched state dict.
+    """
+
+
+class TelemetryError(ReproError):
+    """A telemetry probe or sink was configured or driven inconsistently.
+
+    Raised by :mod:`repro.telemetry` for unknown probe kinds (with the
+    registry's did-you-mean suggestion), duplicate probes on one sink,
+    recording into an unbound sink, and malformed probe/sink state dicts.
     """

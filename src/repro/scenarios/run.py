@@ -113,6 +113,11 @@ class ScenarioSession:
         ``algorithm`` is an online algorithm.
     use_accel:
         Accel mode of the underlying session.
+    telemetry:
+        Opt-in streaming metrics, forwarded to the underlying
+        :class:`OnlineSession` (``True``, a probe list, or a prebuilt
+        :class:`~repro.telemetry.sink.TelemetrySink`); passive by contract,
+        so the streamed run is bit-identical with or without it.
     """
 
     def __init__(
@@ -120,6 +125,7 @@ class ScenarioSession:
         spec: Union[RunSpec, Mapping[str, Any]],
         *,
         use_accel: bool = True,
+        telemetry: Any = None,
     ) -> None:
         run_spec = _coerce_spec(spec)
         algorithm, instance, generator, stream = scenario_session_components(run_spec)
@@ -135,6 +141,7 @@ class ScenarioSession:
             validate=run_spec.validate,
             use_accel=use_accel,
             name=instance.name,
+            telemetry=telemetry,
         )
         # Seed provenance mirrors the SessionManager convention: the root
         # spec seed (not the derived child) is what reproduces the run.
@@ -165,6 +172,15 @@ class ScenarioSession:
     @property
     def exhausted(self) -> bool:
         return self._stream.exhausted
+
+    @property
+    def telemetry(self):
+        """The underlying session's telemetry sink (``None`` when disabled)."""
+        return self._session.telemetry
+
+    def telemetry_summary(self) -> Optional[Mapping[str, Any]]:
+        """``{probe kind: summary}`` of the underlying session, or ``None``."""
+        return self._session.telemetry_summary()
 
     # ------------------------------------------------------------------
     # Streaming

@@ -17,6 +17,7 @@ interact (pinned by ``tests/test_service.py``).
 from __future__ import annotations
 
 import re
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -85,6 +86,15 @@ class SessionManager:
         #: Live sessions in least-recently-used-first order.
         self._live: "OrderedDict[str, _ManagedSession]" = OrderedDict()
         self._finalized: Dict[str, RunRecord] = {}
+        #: Manager-wide lifetime counters, surfaced by :meth:`metrics`.
+        self._counters: Dict[str, int] = {
+            "created": 0,
+            "requests": 0,
+            "evictions": 0,
+            "reloads": 0,
+            "finalized": 0,
+        }
+        self._started = time.monotonic()  # repro: noqa[det-wall-clock] -- service uptime/requests-per-second metrics only; never feeds decisions
 
     # ------------------------------------------------------------------
     # Name / path helpers
@@ -122,6 +132,7 @@ class SessionManager:
         use_accel: Optional[bool] = None,
         trace: bool = False,
         validate: bool = True,
+        telemetry: Any = None,
     ) -> Dict[str, Any]:
         """Create a named session from a declarative RunSpec dict.
 
@@ -130,6 +141,12 @@ class SessionManager:
         it carries are *not* pre-submitted, the stream arrives through
         :meth:`submit`.  A ``seed`` is required so that evicted sessions can
         rebuild their environment bit-identically from the spec alone.
+
+        ``telemetry`` opts the session into streaming metrics (``True`` for
+        the stock probe catalog, or a list of probe names/spec dicts — see
+        :mod:`repro.telemetry`).  Eviction needs no extra handling: the
+        session snapshot carries the sink state, so a reloaded session
+        resumes its metrics exactly.
         """
         self._check_name(name)
         if name in self._live or name in self._finalized or self._on_disk(name):
@@ -167,6 +184,7 @@ class SessionManager:
                 self._default_use_accel if use_accel is None else bool(use_accel)
             ),
             name=run_spec.name or name,
+            telemetry=telemetry,
         )
         # Seed provenance: the generator object was threaded through workload
         # generation, so record the spec seed explicitly on the session.
@@ -174,6 +192,7 @@ class SessionManager:
         self._live[name] = _ManagedSession(
             name=name, spec=spec_dict, session=session, stream=stream
         )
+        self._counters["created"] += 1
         self._enforce_capacity(keep=name)
         return self.status(name)
 
@@ -217,6 +236,7 @@ class SessionManager:
                 name=name, spec=dict(snapshot.spec), session=session, stream=stream
             )
             self._live[name] = entry
+            self._counters["reloads"] += 1
             self._enforce_capacity(keep=name)
             return entry
         raise ServiceError(
@@ -246,7 +266,9 @@ class SessionManager:
                 f"session {name!r} is scenario-backed; its requests come from "
                 "the scenario stream — use 'advance' instead of 'submit'"
             )
-        return entry.session.submit(point, commodities)
+        event = entry.session.submit(point, commodities)
+        self._counters["requests"] += 1
+        return event
 
     def advance(
         self, name: str, count: Optional[int] = None
@@ -280,6 +302,7 @@ class SessionManager:
             if event is None:
                 break
             events.append(event)
+        self._counters["requests"] += len(events)
         return events, entry.stream.exhausted
 
     def snapshot(self, name: str) -> SessionSnapshot:
@@ -305,6 +328,7 @@ class SessionManager:
         )
         path = snapshot.save(self._snapshot_path(name))
         del self._live[name]
+        self._counters["evictions"] += 1
         return path
 
     def evict_all(self) -> List[str]:
@@ -320,6 +344,7 @@ class SessionManager:
         record = entry.session.finalize()
         del self._live[name]
         self._finalized[name] = record
+        self._counters["finalized"] += 1
         path = self._snapshot_path(name)
         if path is not None and path.exists():
             path.unlink()
@@ -353,7 +378,12 @@ class SessionManager:
         return sorted(known)
 
     def status(self, name: str) -> Dict[str, Any]:
-        """A JSON-compatible status row for one session (any residency)."""
+        """A JSON-compatible status row for one session (any residency).
+
+        Live sessions report their running request count and wall-time spent
+        inside the algorithm; when the session has telemetry attached, the
+        full ``{probe kind: summary}`` map rides along under ``"telemetry"``.
+        """
         entry = self._live.get(name)
         if entry is not None:
             session = entry.session
@@ -366,7 +396,11 @@ class SessionManager:
                 "opening_cost": session.opening_cost,
                 "connection_cost": session.connection_cost,
                 "total_cost": session.total_cost,
+                "runtime_seconds": session.runtime_seconds,
             }
+            telemetry = session.telemetry_summary()
+            if telemetry is not None:
+                status["telemetry"] = telemetry
             if entry.stream is not None:
                 status["scenario"] = {
                     "kind": entry.stream.scenario.kind,
@@ -401,6 +435,44 @@ class SessionManager:
         raise ServiceError(
             f"unknown session {name!r}; known: {', '.join(self.names()) or '(none)'}"
         )
+
+    def metrics(self) -> Dict[str, Any]:
+        """Manager-wide live counters plus per-session telemetry summaries.
+
+        The ``repro serve`` ``metrics`` op returns this payload: lifetime
+        counters (sessions created, requests routed, evictions, disk reloads,
+        finalizations), current residency, service uptime with the overall
+        requests/s rate, and — for every *live* session — its request count,
+        running cost and probe summaries (when telemetry is enabled).
+        """
+        uptime = time.monotonic() - self._started  # repro: noqa[det-wall-clock] -- service uptime/requests-per-second metrics only; never feeds decisions
+        on_disk = 0
+        if self._snapshot_dir is not None and self._snapshot_dir.is_dir():
+            on_disk = sum(1 for _ in self._snapshot_dir.glob("*.session.json"))
+        sessions: Dict[str, Any] = {}
+        for name, entry in self._live.items():
+            session = entry.session
+            row: Dict[str, Any] = {
+                "num_requests": session.num_requests,
+                "total_cost": session.total_cost,
+                "runtime_seconds": session.runtime_seconds,
+            }
+            telemetry = session.telemetry_summary()
+            if telemetry is not None:
+                row["telemetry"] = telemetry
+            sessions[name] = row
+        return {
+            "counters": dict(self._counters),
+            "sessions_live": len(self._live),
+            "sessions_finalized": len(self._finalized),
+            "sessions_on_disk": on_disk,
+            "sessions_known": len(self.names()),
+            "uptime_seconds": uptime,
+            "requests_per_second": (
+                self._counters["requests"] / uptime if uptime > 0 else None
+            ),
+            "sessions": sessions,
+        }
 
     def __len__(self) -> int:
         """Number of known sessions (any residency)."""

@@ -14,7 +14,11 @@ Operations
     Liveness check; echoes the known session count.
 ``create``
     ``{"op": "create", "name": ..., "spec": {...RunSpec dict...}}`` — create a
-    named session (optional ``use_accel``/``trace``/``validate`` flags).
+    named session (optional ``use_accel``/``trace``/``validate`` flags).  An
+    optional ``telemetry`` field opts the session into streaming metrics:
+    ``true`` for the stock probe catalog, or a list of probe names / spec
+    dicts (see :mod:`repro.telemetry`); subsequent ``status`` responses then
+    carry the per-probe summaries.
 ``submit``
     ``{"op": "submit", "name": ..., "point": p, "commodities": [..]}`` —
     route one request; responds with the
@@ -27,7 +31,15 @@ Operations
     list, the count served and whether the stream is exhausted.  Omitting
     ``count`` drains a finite scenario to its end.
 ``status`` / ``list``
-    Introspect one session / list all known session names.
+    Introspect one session / list all known session names.  ``status`` on a
+    live session reports its running request count, cost totals and
+    algorithm wall-time; with telemetry enabled the probe summaries ride
+    along under ``"telemetry"``.
+``metrics``
+    Manager-wide live counters (sessions created/held, evictions, disk
+    reloads, requests routed with the overall requests/s rate) plus a
+    per-live-session roll-up — see
+    :meth:`~repro.service.manager.SessionManager.metrics`.
 ``snapshot``
     Return the session's full snapshot dict inline.
 ``evict``
@@ -114,6 +126,7 @@ class ServiceProtocol:
             use_accel=message.get("use_accel"),
             trace=bool(message.get("trace", False)),
             validate=bool(message.get("validate", True)),
+            telemetry=message.get("telemetry"),
         )
         return {"ok": True, "session": status}
 
@@ -143,6 +156,9 @@ class ServiceProtocol:
 
     def _op_list(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         return {"ok": True, "sessions": self._manager.names()}
+
+    def _op_metrics(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "metrics": self._manager.metrics()}
 
     def _op_snapshot(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         name = self._required(message, "name")

@@ -74,6 +74,11 @@ class SessionSnapshot:
     #: scenario-backed (see ScenarioSession.snapshot).  Optional with a
     #: default, so pre-scenario snapshots keep loading unchanged.
     scenario_state: Optional[Dict[str, Any]] = None
+    #: Telemetry sink state (probe specs + probe states, see
+    #: :meth:`repro.telemetry.sink.TelemetrySink.state_dict`) when the session
+    #: had telemetry attached.  Optional with a default, so pre-telemetry
+    #: snapshots keep loading unchanged.
+    telemetry: Optional[Dict[str, Any]] = None
     version: int = SNAPSHOT_VERSION
 
     # ------------------------------------------------------------------

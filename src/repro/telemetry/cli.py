@@ -1,0 +1,90 @@
+"""The ``repro report`` subcommand: stores/records in, dashboards out.
+
+Split out of :mod:`repro.cli` so plain experiment commands never import the
+report renderer; the subcommand registration there imports this module
+lazily, following the ``serve`` / ``lint`` pattern.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+__all__ = ["configure_parser", "run"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="content-addressed result-store directory to render",
+    )
+    source.add_argument(
+        "--records",
+        type=Path,
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help="RunRecord JSON files (a row dict or a list of row dicts each)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("report"),
+        help="output directory for report.md / report.html (default: report/)",
+    )
+    parser.add_argument(
+        "--title", default="repro report", help="dashboard title"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("markdown", "html", "both"),
+        default="both",
+        help="which artifacts to write (default: both)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "committed baseline JSON to diff per-task column means against; "
+            "any drift beyond tolerance exits 1 (the CI regression gate)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the fresh per-task column means out as a baseline file",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import render_report
+
+    formats = ("markdown", "html") if args.format == "both" else (args.format,)
+    result = render_report(
+        store=args.store,
+        records=args.records,
+        out_dir=args.out,
+        title=args.title,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        formats=formats,
+    )
+    for path in (result.markdown_path, result.html_path, result.baseline_written):
+        if path is not None:
+            print(f"wrote {path}")
+    if result.regressions is not None:
+        if result.regressions:
+            for finding in result.regressions:
+                print(
+                    "REGRESSION "
+                    + " ".join(f"{k}={v}" for k, v in finding.items() if v is not None)
+                )
+            return 1
+        print(f"regression gate: no drift vs {args.baseline}")
+    return 0

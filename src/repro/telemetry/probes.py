@@ -1,0 +1,463 @@
+"""Streaming metrics probes — O(1)-memory running statistics over sessions.
+
+A probe consumes the stream of :class:`~repro.api.session.AssignmentEvent`
+objects a session emits (plus the per-request wall-clock time the session
+already measures) and maintains a bounded-memory running summary.  Probes are
+registered by name in the string-keyed :data:`METRICS_PROBES` registry,
+mirroring the metric/cost/algorithm/scenario registries, so a telemetry
+configuration is plain data: ``telemetry=["cost-decomposition", "latency"]``.
+
+Contracts every probe honours (pinned by ``tests/test_telemetry.py``):
+
+* **passive** — a probe only *reads* events; it never touches the session's
+  RNG, state or decisions, so enabling telemetry is bit-identical to running
+  without it (any probe that needs randomness, like the latency reservoir,
+  carries its own fixed-seeded private generator);
+* **O(1) memory** — summaries are running aggregates or fixed-size sketches,
+  never per-request logs, so probes survive multi-million-request streams;
+* **strict-JSON durability** — :meth:`MetricsProbe.state_dict` /
+  :meth:`MetricsProbe.load_state_dict` round-trip the full probe state
+  losslessly through JSON, so session snapshots carry telemetry and a
+  resumed session continues its metrics exactly where they left off.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.analysis.competitive import IncrementalOfflineBound
+from repro.api.registry import Registry
+from repro.api.session import AssignmentEvent
+from repro.costs.base import FacilityCostFunction
+from repro.exceptions import TelemetryError
+from repro.metric.base import MetricSpace
+from repro.utils.rng import rng_from_state, rng_state
+
+__all__ = [
+    "METRICS_PROBES",
+    "MetricsProbe",
+    "CostDecompositionProbe",
+    "OpeningRateProbe",
+    "LatencyReservoirProbe",
+    "CompetitiveRatioProbe",
+]
+
+#: Format marker embedded in every probe state dict.
+PROBE_STATE_FORMAT = "repro.telemetry.probe"
+PROBE_STATE_VERSION = 1
+
+#: The probe registry (strict params: a typo'd probe parameter in a
+#: declarative telemetry spec fails naming the offending key).
+METRICS_PROBES = Registry("metrics probe", strict_params=True)
+
+
+class MetricsProbe(abc.ABC):
+    """One streaming statistic over a session's event stream.
+
+    Subclasses set the class attribute ``kind`` (their registry name),
+    implement :meth:`observe`, :meth:`summary` and the ``_state`` /
+    ``_load_state`` payload hooks, and declare their constructor parameters
+    via :meth:`params` so a probe can be rebuilt declaratively from its
+    :meth:`spec`.
+    """
+
+    kind: str = ""
+
+    # ------------------------------------------------------------------
+    # Declarative identity
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, Any]:
+        """Constructor parameters (strict JSON) to rebuild this probe."""
+        return {}
+
+    def spec(self) -> Dict[str, Any]:
+        """``{"kind": ..., **params}`` — the declarative form of this probe."""
+        return {"kind": self.kind, **self.params()}
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, metric: MetricSpace, cost: FacilityCostFunction) -> None:
+        """Attach the probe to a session's fixed environment (optional hook).
+
+        Called once by the sink when telemetry attaches to a session; probes
+        that need the environment (the competitive-ratio probe) build their
+        derived structures here.  Default: no-op.
+        """
+
+    @abc.abstractmethod
+    def observe(self, event: AssignmentEvent, elapsed_seconds: float) -> None:
+        """Fold one served request into the running statistic.
+
+        ``elapsed_seconds`` is the wall-clock time the session already
+        measured for this request (probes never call ``perf_counter``
+        themselves).
+        """
+
+    @abc.abstractmethod
+    def summary(self) -> Dict[str, Any]:
+        """Current value of the statistic as a strict-JSON dict."""
+
+    # ------------------------------------------------------------------
+    # Strict-JSON durability
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _state(self) -> Dict[str, Any]:
+        """Probe-specific mutable state (strict JSON)."""
+
+    @abc.abstractmethod
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        """Inverse of :meth:`_state`."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "format": PROBE_STATE_FORMAT,
+            "version": PROBE_STATE_VERSION,
+            "kind": self.kind,
+            "state": self._state(),
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        if state.get("format") != PROBE_STATE_FORMAT:
+            raise TelemetryError(
+                f"not a probe state dict: format={state.get('format')!r}"
+            )
+        if state.get("version") != PROBE_STATE_VERSION:
+            raise TelemetryError(
+                f"unsupported probe state version {state.get('version')!r}"
+            )
+        if state.get("kind") != self.kind:
+            raise TelemetryError(
+                f"probe state is for kind {state.get('kind')!r}, "
+                f"cannot load into {self.kind!r}"
+            )
+        self._load_state(state["state"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(kind={self.kind!r})"
+
+
+# ----------------------------------------------------------------------
+# Stock probes
+# ----------------------------------------------------------------------
+@METRICS_PROBES.register("cost-decomposition")
+class CostDecompositionProbe(MetricsProbe):
+    """Running opening-vs-connection cost split, per commodity.
+
+    Connection cost is attributed to the demanded commodities in equal
+    shares (an event reports one connection cost for the whole commodity
+    set; the uniform split keeps the per-commodity columns summing exactly
+    to the total).  Opening cost is kept as a session-wide aggregate — a
+    facility opening serves a configuration, not one commodity.
+    """
+
+    kind = "cost-decomposition"
+
+    def __init__(self) -> None:
+        self._num_requests = 0
+        self._opening_cost = 0.0
+        self._connection_cost = 0.0
+        self._per_commodity: Dict[int, Dict[str, Any]] = {}
+
+    def observe(self, event: AssignmentEvent, elapsed_seconds: float) -> None:
+        self._num_requests += 1
+        self._opening_cost += event.opening_cost_delta
+        self._connection_cost += event.connection_cost
+        share = event.connection_cost / len(event.commodities)
+        # Per-commodity accumulators are independent, so iteration order is
+        # irrelevant to the result (summaries and state sort on the way out).
+        per_commodity = self._per_commodity
+        for commodity in event.commodities:
+            entry = per_commodity.get(commodity)
+            if entry is None:
+                entry = per_commodity[commodity] = {
+                    "requests": 0,
+                    "connection_cost": 0.0,
+                }
+            entry["requests"] += 1
+            entry["connection_cost"] += share
+
+    def summary(self) -> Dict[str, Any]:
+        total = self._opening_cost + self._connection_cost
+        return {
+            "num_requests": self._num_requests,
+            "opening_cost": self._opening_cost,
+            "connection_cost": self._connection_cost,
+            "total_cost": total,
+            "opening_fraction": (self._opening_cost / total) if total > 0 else None,
+            "per_commodity": {
+                str(e): {
+                    "requests": entry["requests"],
+                    "connection_cost": entry["connection_cost"],
+                }
+                for e, entry in sorted(self._per_commodity.items())
+            },
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "num_requests": self._num_requests,
+            "opening_cost": self._opening_cost,
+            "connection_cost": self._connection_cost,
+            "per_commodity": {
+                str(e): dict(entry) for e, entry in sorted(self._per_commodity.items())
+            },
+        }
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        self._num_requests = int(state["num_requests"])
+        self._opening_cost = float(state["opening_cost"])
+        self._connection_cost = float(state["connection_cost"])
+        self._per_commodity = {
+            int(e): {
+                "requests": int(entry["requests"]),
+                "connection_cost": float(entry["connection_cost"]),
+            }
+            for e, entry in state["per_commodity"].items()
+        }
+
+
+@METRICS_PROBES.register("opening-rate")
+class OpeningRateProbe(MetricsProbe):
+    """How often (and how expensively) the algorithm opens facilities."""
+
+    kind = "opening-rate"
+
+    def __init__(self) -> None:
+        self._num_requests = 0
+        self._opening_events = 0
+        self._opening_cost = 0.0
+        self._max_facility_id = -1
+
+    def observe(self, event: AssignmentEvent, elapsed_seconds: float) -> None:
+        self._num_requests += 1
+        if event.opening_cost_delta > 0.0:
+            self._opening_events += 1
+        self._opening_cost += event.opening_cost_delta
+        if event.facility_ids:
+            self._max_facility_id = max(self._max_facility_id, max(event.facility_ids))
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "num_requests": self._num_requests,
+            "opening_events": self._opening_events,
+            "opening_rate": (
+                self._opening_events / self._num_requests
+                if self._num_requests
+                else None
+            ),
+            "opening_cost": self._opening_cost,
+            "facilities_seen": self._max_facility_id + 1,
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "num_requests": self._num_requests,
+            "opening_events": self._opening_events,
+            "opening_cost": self._opening_cost,
+            "max_facility_id": self._max_facility_id,
+        }
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        self._num_requests = int(state["num_requests"])
+        self._opening_events = int(state["opening_events"])
+        self._opening_cost = float(state["opening_cost"])
+        self._max_facility_id = int(state["max_facility_id"])
+
+
+@METRICS_PROBES.register("latency")
+class LatencyReservoirProbe(MetricsProbe):
+    """Per-request latency percentiles from a fixed-size reservoir sample.
+
+    Uniform reservoir sampling with geometric skips (Li's "Algorithm L")
+    over the per-request wall-clock times the session already measures: the
+    probe pre-computes the arrival index of the *next* replacement, so the
+    steady-state per-event cost is one integer compare — O(k·log(n/k)) RNG
+    draws over the whole stream instead of one per event.  Those draws come
+    from a **private** generator seeded by the probe's own ``seed``
+    parameter — never from the session's generator — so enabling the probe
+    draws nothing from the algorithm's RNG stream (the zero-cost contract).
+    """
+
+    kind = "latency"
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity < 1:
+            raise TelemetryError(f"reservoir capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._seed = int(seed)
+        self._rng = np.random.default_rng(self._seed)
+        self._reservoir: List[float] = []
+        self._count = 0
+        self._total_seconds = 0.0
+        self._max_seconds = 0.0
+        # Algorithm L skip state: w is the running acceptance weight, next
+        # the 0-based arrival index of the next reservoir replacement.
+        self._w = 1.0
+        self._next_replacement = self._capacity
+        self._filled = False
+
+    def params(self) -> Dict[str, Any]:
+        return {"capacity": self._capacity, "seed": self._seed}
+
+    def _uniform_open(self) -> float:
+        value = float(self._rng.random())
+        # random() lives in [0, 1); dodge the measure-zero log(0) endpoint.
+        return value if value > 0.0 else 0.5
+
+    def _advance_skip(self, from_index: int) -> None:
+        self._w *= math.exp(math.log(self._uniform_open()) / self._capacity)
+        log_reject = math.log1p(-self._w)
+        if log_reject == 0.0:  # w underflowed: no further replacements, ever
+            self._next_replacement = 2**62
+            return
+        skip = int(math.log(self._uniform_open()) / log_reject)
+        self._next_replacement = from_index + 1 + skip
+
+    def observe(self, event: AssignmentEvent, elapsed_seconds: float) -> None:
+        index = self._count
+        self._count += 1
+        self._total_seconds += elapsed_seconds
+        if elapsed_seconds > self._max_seconds:
+            self._max_seconds = elapsed_seconds
+        if not self._filled:
+            self._reservoir.append(elapsed_seconds)
+            if len(self._reservoir) == self._capacity:
+                self._filled = True
+                self._advance_skip(index)
+        elif index == self._next_replacement:
+            slot = int(self._rng.integers(0, self._capacity))
+            self._reservoir[slot] = elapsed_seconds
+            self._advance_skip(index)
+
+    def summary(self) -> Dict[str, Any]:
+        percentiles: Dict[str, Optional[float]] = {"p50": None, "p90": None, "p99": None}
+        if self._reservoir:
+            values = np.asarray(self._reservoir, dtype=np.float64)
+            p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
+            percentiles = {"p50": float(p50), "p90": float(p90), "p99": float(p99)}
+        return {
+            "num_requests": self._count,
+            "total_seconds": self._total_seconds,
+            "mean_seconds": (self._total_seconds / self._count) if self._count else None,
+            "max_seconds": self._max_seconds if self._count else None,
+            "requests_per_second": (
+                self._count / self._total_seconds if self._total_seconds > 0 else None
+            ),
+            "reservoir_size": len(self._reservoir),
+            **percentiles,
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "count": self._count,
+            "total_seconds": self._total_seconds,
+            "max_seconds": self._max_seconds,
+            "reservoir": list(self._reservoir),
+            "w": self._w,
+            "next_replacement": self._next_replacement,
+            "rng": rng_state(self._rng),
+        }
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        self._count = int(state["count"])
+        self._total_seconds = float(state["total_seconds"])
+        self._max_seconds = float(state["max_seconds"])
+        self._reservoir = [float(v) for v in state["reservoir"]]
+        self._w = float(state["w"])
+        self._next_replacement = int(state["next_replacement"])
+        self._filled = len(self._reservoir) >= self._capacity
+        self._rng = rng_from_state(state["rng"])
+
+
+@METRICS_PROBES.register("competitive-ratio")
+class CompetitiveRatioProbe(MetricsProbe):
+    """Rolling competitive-ratio estimate against a streaming offline bound.
+
+    Pairs the session's running online cost with the LP-free
+    :class:`~repro.analysis.competitive.IncrementalOfflineBound` lower bound
+    on offline OPT of the prefix — updated per arrival, never re-solving.
+    The reported ``ratio_upper_bound`` (online cost / lower bound) therefore
+    *over*-estimates the true competitive ratio; at finalize it exactly
+    matches the post-hoc batch computation
+    :func:`~repro.analysis.competitive.streaming_lower_bound` on the served
+    prefix (pinned with ``==`` in ``tests/test_telemetry.py``).
+    """
+
+    kind = "competitive-ratio"
+
+    def __init__(self, anchor_cap: int = 256) -> None:
+        self._anchor_cap = int(anchor_cap)
+        self._bound: Optional[IncrementalOfflineBound] = None
+        self._pending_state: Optional[Dict[str, Any]] = None
+        self._online_cost = 0.0
+        self._num_requests = 0
+
+    def params(self) -> Dict[str, Any]:
+        return {"anchor_cap": self._anchor_cap}
+
+    def bind(self, metric: MetricSpace, cost: FacilityCostFunction) -> None:
+        self._bound = IncrementalOfflineBound(
+            metric, cost, anchor_cap=self._anchor_cap
+        )
+        if self._pending_state is not None:
+            self._bound.load_state_dict(self._pending_state)
+            self._pending_state = None
+
+    def observe(self, event: AssignmentEvent, elapsed_seconds: float) -> None:
+        if self._bound is None:
+            raise TelemetryError(
+                "competitive-ratio probe observed an event before bind(); "
+                "attach it through a TelemetrySink"
+            )
+        self._num_requests += 1
+        # Inlined event.total_cost_so_far: this runs once per streamed
+        # request, so skip the property-call frame.
+        self._online_cost = event.opening_cost_so_far + event.connection_cost_so_far
+        # Raw-arrival fast path: the event already validated the request.
+        self._bound.update_arrival(event.point, event.commodities)
+
+    @property
+    def lower_bound(self) -> float:
+        if self._bound is not None:
+            return self._bound.value
+        if self._pending_state is not None:
+            return float(self._pending_state["bound"])
+        return 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        bound = self.lower_bound
+        return {
+            "num_requests": self._num_requests,
+            "online_cost": self._online_cost,
+            "offline_lower_bound": bound,
+            "ratio_upper_bound": (self._online_cost / bound) if bound > 0 else None,
+        }
+
+    def _state(self) -> Dict[str, Any]:
+        if self._bound is not None:
+            bound_state: Optional[Dict[str, Any]] = self._bound.state_dict()
+        elif self._pending_state is not None:
+            bound_state = dict(self._pending_state)
+        else:
+            bound_state = None  # never bound: nothing observed yet
+        return {
+            "num_requests": self._num_requests,
+            "online_cost": self._online_cost,
+            "bound": bound_state,
+        }
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        self._num_requests = int(state["num_requests"])
+        self._online_cost = float(state["online_cost"])
+        bound_state = state["bound"]
+        if bound_state is None:
+            self._pending_state = None
+        elif self._bound is not None:
+            self._bound.load_state_dict(bound_state)
+        else:
+            self._pending_state = dict(bound_state)

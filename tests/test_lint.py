@@ -376,6 +376,7 @@ def test_repro_help_lists_every_subcommand():
         "spec",
         "scenarios",
         "serve",
+        "report",
         "lint",
     ]
     help_text = build_parser().format_help()

@@ -244,6 +244,90 @@ def test_protocol_registry_typo_gets_suggestion():
     assert "did you mean" in response["error"] and "pd-omflp" in response["error"]
 
 
+def test_protocol_status_and_metrics_carry_telemetry(tmp_path):
+    """Telemetry-aware observability over the wire, through real JSON text.
+
+    A session created with ``"telemetry": true`` reports its probe summaries
+    in ``status``; the manager-wide ``metrics`` op reports live counters and
+    the per-session roll-up.  Everything round-trips ``handle_line`` (i.e. is
+    strict JSON), and sessions without telemetry stay telemetry-free.
+    """
+    protocol = ServiceProtocol(SessionManager(snapshot_dir=tmp_path))
+
+    created = protocol.handle(
+        {"op": "create", "name": "probed", "spec": _spec(5), "telemetry": True}
+    )
+    assert created["ok"]
+    protocol.handle({"op": "create", "name": "plain", "spec": _spec(6)})
+    for point, commodities in STREAM_A[:3]:
+        assert protocol.handle(
+            {"op": "submit", "name": "probed", "point": point, "commodities": commodities}
+        )["ok"]
+
+    status = json.loads(
+        protocol.handle_line(json.dumps({"op": "status", "name": "probed"}))
+    )["session"]
+    assert status["num_requests"] == 3
+    assert status["runtime_seconds"] > 0.0
+    telemetry = status["telemetry"]
+    assert set(telemetry) == {
+        "cost-decomposition",
+        "opening-rate",
+        "latency",
+        "competitive-ratio",
+    }
+    assert telemetry["cost-decomposition"]["num_requests"] == 3
+    assert telemetry["cost-decomposition"]["total_cost"] == pytest.approx(
+        status["total_cost"]
+    )
+    assert telemetry["latency"]["reservoir_size"] == 3
+    assert "telemetry" not in protocol.handle({"op": "status", "name": "plain"})["session"]
+
+    metrics = json.loads(protocol.handle_line(json.dumps({"op": "metrics"})))["metrics"]
+    assert metrics["counters"]["created"] == 2
+    assert metrics["counters"]["requests"] == 3
+    assert metrics["sessions_live"] == 2
+    assert metrics["uptime_seconds"] >= 0.0
+    assert "requests_per_second" in metrics
+    assert metrics["sessions"]["probed"]["num_requests"] == 3
+    assert "telemetry" in metrics["sessions"]["probed"]
+    assert "telemetry" not in metrics["sessions"]["plain"]
+
+    # Eviction bounces the sink through disk; the metrics continue exactly.
+    before = dict(telemetry["cost-decomposition"])
+    protocol.handle({"op": "evict", "name": "probed"})
+    point, commodities = STREAM_A[3]
+    protocol.handle(
+        {"op": "submit", "name": "probed", "point": point, "commodities": commodities}
+    )
+    after = protocol.handle({"op": "status", "name": "probed"})["session"]["telemetry"]
+    assert after["cost-decomposition"]["num_requests"] == before["num_requests"] + 1
+    reloaded = protocol.handle({"op": "metrics"})["metrics"]
+    assert reloaded["counters"]["evictions"] == 1
+    assert reloaded["counters"]["reloads"] == 1
+
+
+def test_protocol_telemetry_accepts_probe_lists_and_rejects_typos(tmp_path):
+    protocol = ServiceProtocol(SessionManager(snapshot_dir=tmp_path))
+    created = protocol.handle(
+        {
+            "op": "create",
+            "name": "s",
+            "spec": _spec(1),
+            "telemetry": ["opening-rate", {"kind": "latency", "capacity": 4}],
+        }
+    )
+    assert created["ok"]
+    protocol.handle({"op": "submit", "name": "s", "point": 1, "commodities": [0]})
+    telemetry = protocol.handle({"op": "status", "name": "s"})["session"]["telemetry"]
+    assert sorted(telemetry) == ["latency", "opening-rate"]
+
+    bad = protocol.handle(
+        {"op": "create", "name": "t", "spec": _spec(2), "telemetry": ["opening-rte"]}
+    )
+    assert bad["ok"] is False and "did you mean" in bad["error"]
+
+
 def test_cli_serve_in_process(tmp_path, monkeypatch, capsys):
     """The argparse `serve` branch wired to real streams (in-process)."""
     import io
