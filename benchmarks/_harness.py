@@ -1,0 +1,80 @@
+"""Shared machine-readable envelope of the ``bench_*.py`` emitters.
+
+Every benchmark that emits a committed ``BENCH_*.json`` wraps its
+measurements in the same envelope::
+
+    {
+      "format": "repro.bench",       # constant marker
+      "version": 1,
+      "bench": "telemetry-overhead", # which benchmark produced it
+      "command": "PYTHONPATH=src python benchmarks/bench_telemetry.py ...",
+      "host": {"cpu_count": ..., "affinity_cpus": ..., "python": ...},
+      "params": {...},               # the knobs the run was configured with
+      "results": {...}               # benchmark-specific measurements
+    }
+
+so tooling (and ``tests/test_bench_harness.py``, which validates the
+committed files) can discover what was measured, on what hardware, and how
+to regenerate it without knowing each benchmark's internals.  Only the
+envelope is standardized — ``results`` stays benchmark-shaped on purpose.
+"""
+
+import json
+import os
+import sys
+
+BENCH_FORMAT = "repro.bench"
+BENCH_VERSION = 1
+
+
+def host_info() -> dict:
+    """The hardware/runtime facts that contextualize wall-clock numbers."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "affinity_cpus": (
+            len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None
+        ),
+        "python": sys.version.split()[0],
+    }
+
+
+def envelope(bench: str, *, command: str, params: dict, results: dict) -> dict:
+    """Wrap one benchmark's measurements in the shared envelope."""
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "bench": bench,
+        "command": command,
+        "host": host_info(),
+        "params": params,
+        "results": results,
+    }
+
+
+def validate(data: object) -> dict:
+    """Check the envelope schema; returns the payload or raises ValueError."""
+    if not isinstance(data, dict):
+        raise ValueError(f"bench payload must be a JSON object, got {type(data).__name__}")
+    if data.get("format") != BENCH_FORMAT:
+        raise ValueError(f"format must be {BENCH_FORMAT!r}, got {data.get('format')!r}")
+    if data.get("version") != BENCH_VERSION:
+        raise ValueError(f"unsupported bench payload version {data.get('version')!r}")
+    for key, kind in (("bench", str), ("command", str), ("host", dict),
+                      ("params", dict), ("results", dict)):
+        if not isinstance(data.get(key), kind):
+            raise ValueError(f"bench payload needs a {kind.__name__} {key!r} field")
+    host = data["host"]
+    for key in ("cpu_count", "python"):
+        if key not in host:
+            raise ValueError(f"bench host info is missing {key!r}")
+    return data
+
+
+def emit(payload: dict, json_path: "str | None") -> None:
+    """Print the payload; also write it (stable layout) when a path is given."""
+    text = json.dumps(validate(payload), indent=2)
+    print(text)
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {json_path}", file=sys.stderr)

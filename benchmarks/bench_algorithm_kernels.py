@@ -17,7 +17,6 @@ two paths' total costs are identical while doing so.  The committed
 """
 
 import argparse
-import json
 import time
 
 import pytest
@@ -200,6 +199,8 @@ def collect_kernel_trajectory(sizes=SIZE_GRID, *, verbose: bool = True):
 
 
 def main(argv=None) -> None:
+    import _harness
+
     parser = argparse.ArgumentParser(description="Emit the kernel perf trajectory")
     parser.add_argument("--json", default="BENCH_kernels.json", help="output path")
     parser.add_argument(
@@ -210,17 +211,13 @@ def main(argv=None) -> None:
     args = parser.parse_args(argv)
     sizes = tuple(int(s) for s in args.sizes.split(",") if s)
     rows = collect_kernel_trajectory(sizes)
-    payload = {
-        "schema": "repro-omflp/bench-kernels/v1",
-        "command": "PYTHONPATH=src python benchmarks/bench_algorithm_kernels.py --json",
-        "sizes": list(sizes),
-        "unit": "ns/request",
-        "results": rows,
-    }
-    with open(args.json, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.json} ({len(rows)} rows)")
+    payload = _harness.envelope(
+        "algorithm-kernels",
+        command="PYTHONPATH=src python benchmarks/bench_algorithm_kernels.py --json BENCH_kernels.json",
+        params={"sizes": list(sizes), "unit": "ns/request"},
+        results={"kernels": rows},
+    )
+    _harness.emit(payload, args.json)
 
 
 if __name__ == "__main__":

@@ -19,7 +19,6 @@ still run), while the warm-store figure is hardware-independent.
 
 import argparse
 import json
-import os
 import sys
 import tempfile
 import time
@@ -81,17 +80,7 @@ def run_bench() -> dict:
 
     serial = timings["workers_1_s"]
     return {
-        "benchmark": "engine-plan-execution",
-        "task": "omflp/scaling-cell",
-        "grid": GRID,
         "num_tasks": len(plan),
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "affinity_cpus": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity")
-            else None,
-            "python": sys.version.split()[0],
-        },
         "timings": timings,
         "speedup_workers_2": round(serial / timings["workers_2_s"], 3),
         "speedup_workers_4": round(serial / timings["workers_4_s"], 3),
@@ -108,18 +97,24 @@ def test_engine_serial_plan(benchmark):
 
 
 def main(argv=None) -> int:
+    import _harness
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--json", type=str, default=None, help="write the trajectory to this JSON file"
     )
     args = parser.parse_args(argv)
-    payload = run_bench()
-    text = json.dumps(payload, indent=2)
-    print(text)
-    if args.json:
-        with open(args.json, "w") as handle:
-            handle.write(text + "\n")
-        print(f"wrote {args.json}", file=sys.stderr)
+    payload = _harness.envelope(
+        "engine-plan-execution",
+        command="PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json",
+        params={
+            "task": "omflp/scaling-cell",
+            "grid": GRID,
+            "worker_counts": list(WORKER_COUNTS),
+        },
+        results=run_bench(),
+    )
+    _harness.emit(payload, args.json)
     return 0
 
 

@@ -149,14 +149,6 @@ def run_bench() -> dict:
     assert acceptance["requests"] == SESSION_ACCEPTANCE_N
 
     return {
-        "benchmark": "scenario-streaming",
-        "generation_scenario": GENERATION_SPEC,
-        "session_spec": SESSION_SPEC,
-        "batch_size": BATCH,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "python": sys.version.split()[0],
-        },
         "generation": generation,
         "session_equivalence": {
             "n": SESSION_EQUIVALENCE_N,
@@ -179,6 +171,8 @@ def run_bench() -> dict:
 
 
 def main() -> int:
+    import _harness
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--worker", default=None, help="internal: run one case")
     parser.add_argument("--n", type=int, default=0)
@@ -187,12 +181,18 @@ def main() -> int:
     if args.worker is not None:
         print(json.dumps(worker(args.worker, args.n)))
         return 0
-    result = run_bench()
-    text = json.dumps(result, indent=2)
-    print(text)
-    if args.json:
-        with open(args.json, "w") as handle:
-            handle.write(text + "\n")
+    payload = _harness.envelope(
+        "scenario-streaming",
+        command="PYTHONPATH=src python benchmarks/bench_scenarios.py --json BENCH_scenarios.json",
+        params={
+            "generation_scenario": GENERATION_SPEC,
+            "session_spec": SESSION_SPEC,
+            "batch_size": BATCH,
+            "generation_sizes": list(GENERATION_SIZES),
+        },
+        results=run_bench(),
+    )
+    _harness.emit(payload, args.json)
     return 0
 
 

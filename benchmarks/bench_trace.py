@@ -1,26 +1,24 @@
-"""Benchmark of the telemetry subsystem: probe overhead at streaming scale.
+"""Benchmark of the span tracer: traced-session overhead at streaming scale.
 
-One measurement, honest by construction: the *same* scenario seed is
-streamed through two ``ScenarioSession`` instances side by side — one with
-telemetry disabled and one with the full stock probe catalog (cost
-decomposition, opening rate, latency reservoir, rolling competitive ratio)
-attached.  Inside one fresh subprocess the two sessions advance in
-alternating fixed-size chunks (plain, probed, probed, plain, ...), and the
-overhead is the **median of the per-chunk pair ratios**: each probed chunk
-is compared only against the plain chunk timed immediately next to it, so
-machine drift at the seconds scale hits both sides of every pair equally
-instead of masquerading as probe overhead.  The benchmark asserts two
-things:
+The same measurement design as ``bench_telemetry.py``, because it answers
+the same kind of question honestly: inside one fresh subprocess, the *same*
+scenario seed is streamed through two ``ScenarioSession`` instances side by
+side — one untraced and one with a :class:`repro.trace.tracer.Tracer`
+attached at its defaults (ring buffer 4096, detail stride 1024) — advancing
+in alternating fixed-size chunks so machine drift hits both sides of every
+pair equally.  The overhead is the **median of the per-chunk pair ratios**.
+The benchmark asserts:
 
-* **zero cost in content** — both runs report exactly equal total cost and
-  facility count (probes are passive; ``tests/test_telemetry.py`` pins the
-  stronger per-event / RNG-state equality);
-* **near-zero cost in time** — the relative overhead of all probes together
-  stays under the 5% budget at n = 10^5 streamed requests.
+* **passivity in content** — both runs report exactly equal total cost and
+  facility count (``tests/test_trace.py`` pins the stronger per-event / RNG
+  state equality);
+* **near-zero cost in time** — the traced session's relative overhead stays
+  under the 5% budget at n = 10^5 streamed requests, which is the tracing
+  subsystem's acceptance bar.
 
 Run as a script to emit the machine-readable result::
 
-    PYTHONPATH=src python benchmarks/bench_telemetry.py --json BENCH_telemetry.json
+    PYTHONPATH=src python benchmarks/bench_trace.py --json BENCH_trace.json
 """
 
 import argparse
@@ -32,7 +30,7 @@ import sys
 import time
 
 #: Session spec: a cheap submit path (single-commodity Meyerson on a
-#: bounded uniform scenario), so the probe cost is measured against a
+#: bounded uniform scenario), so the tracer cost is measured against a
 #: small per-request denominator rather than hidden under algorithm work.
 SESSION_SPEC = {
     "algorithm": "meyerson-ofl",
@@ -43,9 +41,11 @@ SESSION_SPEC = {
 
 N = 100_000
 #: Multiple of the session's 64-event telemetry flush cadence, so every
-#: probed chunk contains the same number of fan-out batches.
+#: chunk contains the same number of fan-out batches on both sides.
 CHUNK = 128
 OVERHEAD_BUDGET = 0.05
+BUFFER_SIZE = 4096
+DETAIL_STRIDE = 1024
 
 
 def _rss_mb() -> float:
@@ -54,37 +54,39 @@ def _rss_mb() -> float:
 
 def worker(case: str, n: int) -> dict:
     from repro.scenarios import ScenarioSession
+    from repro.trace.tracer import Tracer
 
     if case != "pair":
         raise SystemExit(f"unknown worker case {case!r}")
-    plain = ScenarioSession(SESSION_SPEC, telemetry=False)
-    probed = ScenarioSession(SESSION_SPEC, telemetry=True)
+    tracer = Tracer(buffer_size=BUFFER_SIZE, detail_stride=DETAIL_STRIDE)
+    plain = ScenarioSession(SESSION_SPEC)
+    traced = ScenarioSession(SESSION_SPEC, tracer=tracer)
     pair_ratios = []
-    plain_seconds = probed_seconds = 0.0
+    plain_seconds = traced_seconds = 0.0
     done = 0
     index = 0
     while done < n:
         step = min(CHUNK, n - done)
         # Alternate which side goes first within the pair so ordering
         # effects (cache warmth, frequency ramps) cancel across pairs.
-        first, second = (plain, probed) if index % 2 == 0 else (probed, plain)
+        first, second = (plain, traced) if index % 2 == 0 else (traced, plain)
         start = time.perf_counter()
         first.advance(step)
         middle = time.perf_counter()
         second.advance(step)
         end = time.perf_counter()
         if first is plain:
-            t_plain, t_probed = middle - start, end - middle
+            t_plain, t_traced = middle - start, end - middle
         else:
-            t_probed, t_plain = middle - start, end - middle
+            t_traced, t_plain = middle - start, end - middle
         plain_seconds += t_plain
-        probed_seconds += t_probed
+        traced_seconds += t_traced
         if index > 0:  # drop the warm-up pair (imports, caches, JIT'd numpy)
-            pair_ratios.append(t_probed / t_plain)
+            pair_ratios.append(t_traced / t_plain)
         done += step
         index += 1
     plain_record = plain.finalize()
-    probed_record = probed.finalize()
+    traced_record = traced.finalize()
     return {
         "plain": {
             "case": "plain",
@@ -93,17 +95,16 @@ def worker(case: str, n: int) -> dict:
             "total_cost": plain_record.total_cost,
             "num_facilities": plain_record.num_facilities,
         },
-        "probed": {
-            "case": "probed",
-            "n": probed_record.num_requests,
-            "seconds": round(probed_seconds, 4),
-            "total_cost": probed_record.total_cost,
-            "num_facilities": probed_record.num_facilities,
+        "traced": {
+            "case": "traced",
+            "n": traced_record.num_requests,
+            "seconds": round(traced_seconds, 4),
+            "total_cost": traced_record.total_cost,
+            "num_facilities": traced_record.num_facilities,
         },
         "pair_ratios": pair_ratios,
-        "chunk": CHUNK,
         "peak_rss_mb": round(_rss_mb(), 1),
-        "summary": probed.telemetry_summary(),
+        "trace_meta": tracer.to_payload()["meta"],
     }
 
 
@@ -124,12 +125,12 @@ def _spawn(case: str, n: int) -> dict:
 def run_bench(n: int = N) -> dict:
     measured = _spawn("pair", n)
     plain = measured["plain"]
-    probed = measured["probed"]
+    traced = measured["traced"]
 
-    assert probed["total_cost"] == plain["total_cost"], (
-        "telemetry changed the run's total cost — zero-cost contract violation"
+    assert traced["total_cost"] == plain["total_cost"], (
+        "tracing changed the run's total cost — passivity contract violation"
     )
-    assert probed["num_facilities"] == plain["num_facilities"]
+    assert traced["num_facilities"] == plain["num_facilities"]
     ratios = sorted(measured["pair_ratios"])
     overhead = ratios[len(ratios) // 2] - 1.0
     spread = {
@@ -138,36 +139,28 @@ def run_bench(n: int = N) -> dict:
         "p90": round(ratios[(len(ratios) * 9) // 10] - 1.0, 4),
     }
     assert overhead < OVERHEAD_BUDGET, (
-        f"all-probes telemetry overhead {overhead:.1%} exceeds the "
+        f"traced-session overhead {overhead:.1%} exceeds the "
         f"{OVERHEAD_BUDGET:.0%} budget at n={n} (pair spread: {spread})"
     )
 
-    summary = measured["summary"]
-    # Wall-clock percentiles are machine-dependent; keep the committed JSON
-    # to the structural facts (what was measured, over how many requests).
-    latency = summary.get("latency", {})
+    meta = measured["trace_meta"]
+    # The ring buffer is the memory bound: retained spans never exceed it no
+    # matter how many requests streamed through.
+    assert meta["spans_retained"] <= BUFFER_SIZE
     return {
         "pairs": len(ratios),
         "plain": plain,
-        "probed": probed,
+        "traced": traced,
         "peak_rss_mb": measured["peak_rss_mb"],
         "pair_overhead_spread": spread,
         "overhead_fraction": round(overhead, 4),
         "overhead_budget": OVERHEAD_BUDGET,
         "within_budget": True,
-        "probe_checks": {
-            "kinds": sorted(summary),
-            "all_probes_counted_every_request": all(
-                s.get("num_requests") == n for s in summary.values()
-            ),
-            "latency_reservoir_size": latency.get("reservoir_size"),
-            "ratio_upper_bound": summary.get("competitive-ratio", {}).get(
-                "ratio_upper_bound"
-            ),
-            "offline_lower_bound": summary.get("competitive-ratio", {}).get(
-                "offline_lower_bound"
-            ),
-            "opening_rate": summary.get("opening-rate", {}).get("opening_rate"),
+        "trace_checks": {
+            "spans_retained": meta["spans_retained"],
+            "dropped_spans": meta["dropped_spans"],
+            "event_clock": meta["event_clock"],
+            "retained_bounded_by_buffer": True,
         },
     }
 
@@ -184,12 +177,14 @@ def main() -> int:
         print(json.dumps(worker(args.worker, args.n)))
         return 0
     payload = _harness.envelope(
-        "telemetry-overhead",
-        command="PYTHONPATH=src python benchmarks/bench_telemetry.py --json BENCH_telemetry.json",
+        "trace-overhead",
+        command="PYTHONPATH=src python benchmarks/bench_trace.py --json BENCH_trace.json",
         params={
             "session_spec": SESSION_SPEC,
             "n": args.n,
             "chunk": CHUNK,
+            "buffer_size": BUFFER_SIZE,
+            "detail_stride": DETAIL_STRIDE,
             "overhead_budget": OVERHEAD_BUDGET,
         },
         results=run_bench(args.n),

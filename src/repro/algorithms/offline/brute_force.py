@@ -16,13 +16,13 @@ instances fails loudly instead of hanging.
 from __future__ import annotations
 
 import itertools
-import time
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import OfflineResult, OfflineSolver
 from repro.algorithms.offline.common import solution_from_specs
 from repro.core.instance import Instance
 from repro.exceptions import AlgorithmError, InfeasibleSolutionError
+from repro.trace.clock import wall_now
 
 __all__ = ["BruteForceSolver"]
 
@@ -71,7 +71,7 @@ class BruteForceSolver(OfflineSolver):
         return family
 
     def solve(self, instance: Instance) -> OfflineResult:
-        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        start = wall_now()
         family = self._configuration_family(instance)
         options = len(family) + 1  # +1 for "no facility at this point"
         combinations = options**instance.num_points
@@ -109,7 +109,7 @@ class BruteForceSolver(OfflineSolver):
         if best_specs is None:
             raise AlgorithmError("brute force found no feasible solution")
         solution, total = solution_from_specs(instance, best_specs)
-        runtime = time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        runtime = wall_now() - start
         breakdown = solution.cost_breakdown(instance.requests)
         return OfflineResult(
             solver=self.name,

@@ -16,7 +16,6 @@ brute force is tractable the test suite checks the two against each other.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
@@ -25,6 +24,7 @@ from repro.algorithms.base import OfflineResult, OfflineSolver
 from repro.algorithms.offline.common import candidate_configurations, solution_from_specs
 from repro.core.instance import Instance
 from repro.exceptions import AlgorithmError
+from repro.trace.clock import wall_now
 
 __all__ = ["GreedyOfflineSolver"]
 
@@ -38,7 +38,7 @@ class GreedyOfflineSolver(OfflineSolver):
         self._candidate_points = candidate_points
 
     def solve(self, instance: Instance) -> OfflineResult:
-        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        start = wall_now()
         requests = instance.requests
         if len(requests) == 0:
             raise AlgorithmError("cannot solve an instance with no requests")
@@ -105,7 +105,7 @@ class GreedyOfflineSolver(OfflineSolver):
             if pruned_total <= total:
                 solution, total = pruned_solution, pruned_total
 
-        runtime = time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        runtime = wall_now() - start
         breakdown = solution.cost_breakdown(requests)
         return OfflineResult(
             solver=self.name,

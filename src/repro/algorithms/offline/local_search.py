@@ -17,7 +17,6 @@ an upper bound on OPT that is typically noticeably tighter than greedy alone.
 
 from __future__ import annotations
 
-import time
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import OfflineResult, OfflineSolver
@@ -25,6 +24,7 @@ from repro.algorithms.offline.common import candidate_configurations, solution_f
 from repro.algorithms.offline.greedy import GreedyOfflineSolver
 from repro.core.instance import Instance
 from repro.exceptions import AlgorithmError, InfeasibleSolutionError
+from repro.trace.clock import wall_now
 
 __all__ = ["LocalSearchSolver"]
 
@@ -71,7 +71,7 @@ class LocalSearchSolver(OfflineSolver):
         return total
 
     def solve(self, instance: Instance) -> OfflineResult:
-        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        start = wall_now()
         if self._initial_specs is not None:
             current: List[Spec] = [
                 (int(p), instance.cost_function.normalize_configuration(c))
@@ -130,7 +130,7 @@ class LocalSearchSolver(OfflineSolver):
             current, current_cost = best_specs, best_cost
 
         solution, total = solution_from_specs(instance, current)
-        runtime = time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        runtime = wall_now() - start
         breakdown = solution.cost_breakdown(instance.requests)
         return OfflineResult(
             solver=self.name,

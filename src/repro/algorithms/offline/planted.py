@@ -10,13 +10,13 @@ the scaling experiments while remaining cheap to compute at any size.
 
 from __future__ import annotations
 
-import time
 from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.algorithms.base import OfflineResult, OfflineSolver
 from repro.algorithms.offline.common import solution_from_specs
 from repro.core.instance import Instance
 from repro.exceptions import AlgorithmError
+from repro.trace.clock import wall_now
 
 __all__ = ["PlantedSolver"]
 
@@ -36,9 +36,9 @@ class PlantedSolver(OfflineSolver):
         return list(self._specs)
 
     def solve(self, instance: Instance) -> OfflineResult:
-        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        start = wall_now()
         solution, total = solution_from_specs(instance, self._specs)
-        runtime = time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds the solution
+        runtime = wall_now() - start
         breakdown = solution.cost_breakdown(instance.requests)
         return OfflineResult(
             solver=self.name,

@@ -32,7 +32,6 @@ True
 from __future__ import annotations
 
 import copy
-import time
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -58,10 +57,12 @@ from repro.core.trace import Trace
 from repro.costs.base import FacilityCostFunction
 from repro.exceptions import AlgorithmError, SnapshotError
 from repro.metric.base import MetricSpace
+from repro.trace.clock import wall_now
 from repro.utils.rng import RandomState, ensure_rng, rng_from_state, rng_state
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, types only
     from repro.telemetry.sink import TelemetrySink
+    from repro.trace.tracer import Tracer
 
 __all__ = ["AssignmentEvent", "OnlineSession"]
 
@@ -193,6 +194,19 @@ class OnlineSession:
         Telemetry is passive: probes only read the served events (and the
         wall-clock time the session measures anyway), never the session's
         RNG or state, so enabling it is bit-identical to running without it.
+    tracer:
+        Opt-in span tracing (:mod:`repro.trace`).  ``True`` attaches a
+        default :class:`~repro.trace.tracer.Tracer`; a prebuilt tracer is
+        used as-is (and may be shared, e.g. with the engine or service
+        layer); ``None`` (the default) disables tracing at zero cost.
+        Tracing inherits the telemetry passivity contract: a traced run's
+        events, costs and RNG draws are exact-``==`` to an untraced run's.
+        Per-request sub-phase spans (and sub-phase timing) are recorded for
+        the tracer's deterministic stratified sample of requests; *every*
+        request folds ``algorithm.process`` — the phase measured anyway for
+        runtime telemetry — into the per-phase latency aggregates.
+        Distinct from ``trace``, which records the algorithm's structured
+        decision trace.
     """
 
     def __init__(
@@ -209,6 +223,7 @@ class OnlineSession:
         name: str = "session",
         instance: Optional[Instance] = None,
         telemetry: Any = None,
+        tracer: Any = None,
     ) -> None:
         self._algorithm = algorithm
         self._seed = int(rng) if isinstance(rng, (int, np.integer)) else None
@@ -220,14 +235,33 @@ class OnlineSession:
         self._initial_rng_state = rng_state(self._rng)
         self._use_accel = bool(use_accel)
         self._validate = validate
+        if tracer is None or tracer is False:
+            self._tracer = None
+        else:
+            # Imported lazily for the same cycle reason as the telemetry
+            # sink below (the tracer pulls in repro.telemetry's reservoir).
+            from repro.trace.tracer import Tracer
+
+            self._tracer = Tracer.coerce(tracer)
         if instance is None:
             instance = Instance(
                 metric, cost, RequestSequence([]), commodities=commodities, name=name
             )
         self._instance = instance
+        build_start = wall_now()
         self._state = OnlineState(
             self._instance, trace=Trace(enabled=trace), use_accel=use_accel
         )
+        if self._tracer is not None:
+            # Covers the accel nearest-facility cache construction when
+            # use_accel is on (the session-controlled accel-kernel phase).
+            self._tracer.add(
+                "session.state-build",
+                category="session",
+                seconds=wall_now() - build_start,
+                wall_start=build_start,
+                attributes={"use_accel": self._use_accel},
+            )
         self._requests: list[Request] = []
         self._runtime = 0.0
         self._record: Optional[RunRecord] = None
@@ -246,9 +280,18 @@ class OnlineSession:
                 self._telemetry.bind(
                     self._instance.metric, self._instance.cost_function
                 )
-        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
+        start = wall_now()
         algorithm.prepare(self._instance, self._state, self._rng)
-        self._runtime += time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
+        elapsed = wall_now() - start
+        self._runtime += elapsed
+        if self._tracer is not None:
+            self._tracer.add(
+                "session.prepare",
+                category="session",
+                seconds=elapsed,
+                wall_start=start,
+                attributes={"algorithm": algorithm.name},
+            )
 
     # ------------------------------------------------------------------
     # Read-only views
@@ -294,6 +337,11 @@ class OnlineSession:
         self._flush_telemetry()
         return self._telemetry
 
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The attached span tracer (``None`` when tracing is disabled)."""
+        return self._tracer
+
     def telemetry_summary(self) -> Optional[Dict[str, Any]]:
         """``{probe kind: summary}`` of the attached sink, ``None`` if disabled."""
         if self._telemetry is None:
@@ -337,14 +385,60 @@ class OnlineSession:
             point=int(point),
             commodities=frozenset(int(e) for e in commodities),
         )
+        # Tracing of the hot path: the real work phase (algorithm.process)
+        # folds into the per-phase latency aggregates on every request, at
+        # zero extra clock reads — its elapsed time is measured exactly once
+        # either way and feeds RunRecord.runtime_seconds, telemetry probes
+        # and trace spans alike.  The bookkeeping envelope (submit total,
+        # validate, event assembly) is measured only on the tracer's
+        # deterministic stratified sample of requests, which additionally
+        # gets a full span tree (submit → validate / process / event);
+        # measuring it on every request would cost more clock reads and
+        # folds than the phases are worth at streaming scale.
+        tracer = self._tracer
+        detail = False
+        if tracer is not None:
+            detail = tracer.should_detail(request.index)
+            if detail:
+                submit_span = tracer.begin(
+                    "session.submit",
+                    category="session",
+                    ordinal=request.index,
+                    attributes={
+                        "point": request.point,
+                        "num_commodities": len(request.commodities),
+                    },
+                )
+                validate_start = wall_now()
         self._instance.validate_request(request)
+        if detail:
+            tracer.add(
+                "session.validate",
+                category="session",
+                ordinal=request.index,
+                seconds=wall_now() - validate_start,
+                wall_start=validate_start,
+            )
 
         opening_before = self._state.current_opening_cost()
         connection_before = self._state.current_connection_cost()
-        start = time.perf_counter()  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
+        start = wall_now()
         self._algorithm.process(request, self._state, self._rng)
-        elapsed = time.perf_counter() - start  # repro: noqa[det-wall-clock] -- runtime telemetry only; never feeds decisions
+        elapsed = wall_now() - start
         self._runtime += elapsed
+        if tracer is not None:
+            if detail:
+                tracer.add(
+                    "algorithm.process",
+                    category="algorithm",
+                    ordinal=request.index,
+                    seconds=elapsed,
+                    wall_start=start,
+                    attributes={"use_accel": self._use_accel},
+                )
+                event_start = wall_now()
+            else:
+                tracer.record_phase("algorithm.process", elapsed)
         try:
             assignment = self._state.assignment_of(request.index)
         except KeyError as error:
@@ -372,6 +466,22 @@ class OnlineSession:
             self._telemetry_pending.append((event, elapsed))
             if len(self._telemetry_pending) >= _TELEMETRY_FLUSH_EVERY:
                 self._flush_telemetry()
+        if detail:
+            tracer.add(
+                "session.event",
+                category="session",
+                ordinal=request.index,
+                seconds=wall_now() - event_start,
+                wall_start=event_start,
+            )
+            tracer.end(
+                submit_span,
+                attributes={
+                    "opening_cost_delta": event.opening_cost_delta,
+                    "connection_cost": event.connection_cost,
+                    "facilities": len(event.facility_ids),
+                },
+            )
         return event
 
     def submit_many(self, items: Iterable[Tuple[int, Iterable[int]]]) -> list[AssignmentEvent]:
@@ -540,6 +650,7 @@ class OnlineSession:
         """
         if self._record is not None:
             return self._record
+        finalize_start = wall_now()
         self._flush_telemetry()
         requests = RequestSequence(self._requests)
         solution = self._state.to_solution()
@@ -563,6 +674,18 @@ class OnlineSession:
             seed=self._seed,
             rng_state=copy.deepcopy(self._initial_rng_state),
         )
+        if self._tracer is not None:
+            self._tracer.add(
+                "session.finalize",
+                category="session",
+                ordinal=len(requests),
+                seconds=wall_now() - finalize_start,
+                wall_start=finalize_start,
+                attributes={
+                    "num_requests": len(requests),
+                    "validated": bool(self._validate),
+                },
+            )
         return self._record
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -489,6 +489,20 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run new sessions on the reference (non-accelerated) hot path",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help=(
+            "write the service span trace (per-wire-op spans with session "
+            "correlation ids) to this JSON file on shutdown/EOF"
+        ),
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable service span tracing (drops the metrics op's latency block)",
+    )
 
 
 @register_subcommand(
@@ -500,12 +514,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily so plain experiment commands do not pay for it.
     from repro.service import SessionManager, serve
 
+    if args.no_trace and args.trace_out is not None:
+        raise ExperimentError("--trace-out needs tracing; drop --no-trace")
     manager = SessionManager(
         snapshot_dir=args.snapshot_dir,
         max_live_sessions=args.max_live_sessions,
         default_use_accel=not args.no_accel,
     )
-    serve(manager, sys.stdin, sys.stdout)
+    serve(
+        manager,
+        sys.stdin,
+        sys.stdout,
+        tracer=False if args.no_trace else None,
+        trace_out=args.trace_out,
+    )
     return 0
 
 
@@ -525,6 +547,26 @@ def _configure_report(parser: argparse.ArgumentParser) -> None:
 )
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.telemetry.cli import run
+
+    return run(args)
+
+
+# ----------------------------------------------------------------------
+# repro trace
+# ----------------------------------------------------------------------
+def _configure_trace(parser: argparse.ArgumentParser) -> None:
+    from repro.trace.cli import configure_parser
+
+    configure_parser(parser)
+
+
+@register_subcommand(
+    "trace",
+    "record, export (Perfetto) and summarize deterministic span traces",
+    configure=_configure_trace,
+)
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace.cli import run
 
     return run(args)
 

@@ -15,7 +15,6 @@ seed, so ``workers=64`` produces rows ``==`` to ``workers=1`` bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,8 +24,19 @@ from repro.engine.store import ResultStore
 from repro.engine.tasks import TASKS
 from repro.exceptions import EngineError, UnknownComponentError
 from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.trace.clock import wall_now
 
-__all__ = ["TaskResult", "PlanResult", "run_plan", "execute_task"]
+__all__ = [
+    "TaskResult",
+    "PlanResult",
+    "run_plan",
+    "execute_task",
+    "execute_task_traced",
+]
+
+#: Ring-buffer size of the per-worker shard tracers: a task records a handful
+#: of spans, so shards stay small on the wire back to the parent.
+_SHARD_BUFFER = 256
 
 
 @dataclass
@@ -156,10 +166,62 @@ def execute_task(payload: Tuple[TaskRef, Dict[str, Any], int]) -> Tuple[List[Dic
     kind, case, seed = payload
     function = _resolve(kind)
     generator = np.random.default_rng(seed)
-    start = perf_counter()  # repro: noqa[det-wall-clock] -- task runtime telemetry; not part of the content-addressed rows
+    start = wall_now()
     output = function(case, generator)
-    elapsed = perf_counter() - start  # repro: noqa[det-wall-clock] -- task runtime telemetry; not part of the content-addressed rows
+    elapsed = wall_now() - start
     return _normalize_rows(kind, output), elapsed
+
+
+def _task_label(kind: TaskRef) -> str:
+    return kind if isinstance(kind, str) else getattr(kind, "__name__", "callable")
+
+
+def execute_task_traced(
+    payload: Tuple[TaskRef, Dict[str, Any], int, int]
+) -> Tuple[List[Dict[str, Any]], float, List[Dict[str, Any]]]:
+    """:func:`execute_task` plus a span shard for traced plans.
+
+    The worker builds its own small :class:`~repro.trace.tracer.Tracer`
+    (span ids and event clock start at 0 locally), wraps the task in an
+    ``engine.task`` span with ``engine.resolve`` / ``engine.compute``
+    children, and ships the spans back as plain dicts — the parent re-bases
+    them into the plan trace with
+    :meth:`~repro.trace.tracer.Tracer.merge_shard`.  ``runtime_seconds``
+    keeps the exact :func:`execute_task` semantics (the compute call only).
+    """
+    from repro.trace.tracer import Tracer
+
+    kind, case, seed, index = payload
+    tracer = Tracer(buffer_size=_SHARD_BUFFER, detail_stride=1, sample_seed=0)
+    task_span = tracer.begin(
+        "engine.task",
+        category="engine",
+        ordinal=index,
+        attributes={"task": _task_label(kind), "seed": seed},
+    )
+    resolve_start = wall_now()
+    function = _resolve(kind)
+    tracer.add(
+        "engine.resolve",
+        category="engine",
+        ordinal=index,
+        seconds=wall_now() - resolve_start,
+        wall_start=resolve_start,
+    )
+    generator = np.random.default_rng(seed)
+    start = wall_now()
+    output = function(case, generator)
+    elapsed = wall_now() - start
+    tracer.add(
+        "engine.compute",
+        category="engine",
+        ordinal=index,
+        seconds=elapsed,
+        wall_start=start,
+    )
+    rows = _normalize_rows(kind, output)
+    tracer.end(task_span, attributes={"rows": len(rows)})
+    return rows, elapsed, [span.to_dict() for span in tracer.spans()]
 
 
 def run_plan(
@@ -169,6 +231,7 @@ def run_plan(
     chunk_size: Optional[int] = None,
     store: Optional[ResultStore] = None,
     config: Optional[ParallelConfig] = None,
+    tracer: Any = None,
 ) -> PlanResult:
     """Execute every task of ``plan``, reusing stored results where possible.
 
@@ -185,8 +248,29 @@ def run_plan(
     config:
         Full parallel configuration (e.g. to lower
         ``min_items_for_parallel`` in tests that must exercise the pool).
+    tracer:
+        Opt-in span tracing (:mod:`repro.trace`): the whole plan becomes an
+        ``engine.plan`` span, store hits record ``engine.store-hit`` spans,
+        and computed tasks run through :func:`execute_task_traced` — each
+        worker ships a span shard tagged with the task's content-hash
+        prefix, merged here into one cross-process trace.  Results are
+        bit-identical with tracing on or off (the trace equivalence grid of
+        ``tests/test_trace.py``).
     """
+    if tracer is None or tracer is False:
+        tracer = None
+    else:
+        from repro.trace.tracer import Tracer
+
+        tracer = Tracer.coerce(tracer)
     tasks = plan.tasks()
+    plan_span = None
+    if tracer is not None:
+        plan_span = tracer.begin(
+            "engine.plan",
+            category="engine",
+            attributes={"plan": plan.name, "tasks": len(tasks)},
+        )
     results: List[Optional[TaskResult]] = [None] * len(tasks)
     pending: List[EngineTask] = []
     for task in tasks:
@@ -196,17 +280,31 @@ def run_plan(
                     f"plan {plan.name!r} uses a live-callable task; result "
                     "stores need name-registered tasks (see repro.engine.TASKS)"
                 )
+            lookup_start = wall_now()
             hit = store.get(task.key())
             if hit is not None:
+                stored_runtime = float(hit["runtime_seconds"])
+                if tracer is not None:
+                    tracer.add(
+                        "engine.store-hit",
+                        category="engine",
+                        ordinal=task.index,
+                        seconds=wall_now() - lookup_start,
+                        wall_start=lookup_start,
+                        attributes={
+                            "task": _task_label(task.task),
+                            "stored_runtime_seconds": stored_runtime,
+                        },
+                    )
                 results[task.index] = TaskResult(
                     task=task,
                     rows=[dict(row) for row in hit["rows"]],
-                    runtime_seconds=float(hit["runtime_seconds"]),
+                    runtime_seconds=stored_runtime,
                     reused=True,
                     telemetry=_task_telemetry(
                         task,
                         rows=hit["rows"],
-                        runtime_seconds=float(hit["runtime_seconds"]),
+                        runtime_seconds=stored_runtime,
                         reused=True,
                     ),
                 )
@@ -216,12 +314,31 @@ def run_plan(
     if pending:
         if config is None:
             config = ParallelConfig(workers=workers, chunk_size=chunk_size)
-        outcomes = parallel_map(
-            execute_task,
-            [(task.task, task.case, task.seed) for task in pending],
-            config=config,
-        )
-        for task, (rows, runtime) in zip(pending, outcomes):
+        shards: List[Optional[List[Dict[str, Any]]]]
+        if tracer is None:
+            outcomes = parallel_map(
+                execute_task,
+                [(task.task, task.case, task.seed) for task in pending],
+                config=config,
+            )
+            shards = [None] * len(pending)
+        else:
+            traced_outcomes = parallel_map(
+                execute_task_traced,
+                [(task.task, task.case, task.seed, task.index) for task in pending],
+                config=config,
+            )
+            outcomes = [(rows, runtime) for rows, runtime, _ in traced_outcomes]
+            shards = [shard for _, _, shard in traced_outcomes]
+        for task, (rows, runtime), shard in zip(pending, outcomes, shards):
+            if tracer is not None and shard:
+                # Shards merge in task order — deterministic id/event-clock
+                # re-basing regardless of worker count or scheduling.
+                tracer.merge_shard(
+                    shard,
+                    shard=task.short_key(),
+                    parent_id=plan_span.span_id if plan_span is not None else None,
+                )
             telemetry = _task_telemetry(
                 task, rows=rows, runtime_seconds=runtime, reused=False
             )
@@ -242,4 +359,13 @@ def run_plan(
                     telemetry=telemetry,
                 )
 
-    return PlanResult(plan=plan, results=[result for result in results if result is not None])
+    final = [result for result in results if result is not None]
+    if tracer is not None and plan_span is not None:
+        tracer.end(
+            plan_span,
+            attributes={
+                "reused": sum(1 for r in final if r.reused),
+                "computed": sum(1 for r in final if not r.reused),
+            },
+        )
+    return PlanResult(plan=plan, results=final)

@@ -120,6 +120,14 @@ class EngineTask:
             ) from None
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def short_key(self) -> str:
+        """Short shard label for traces: a content-hash prefix when the task
+        is storable, an index-based fallback otherwise.  Content-derived, so
+        cross-process trace shards carry the same tag across runs."""
+        if self.storable():
+            return self.key()[:12]
+        return f"task-{self.index}"
+
 
 @dataclass
 class ExperimentPlan:

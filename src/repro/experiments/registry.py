@@ -8,7 +8,7 @@ with ``EXPERIMENTS.add("my-id", my_run)`` and the CLI picks them up.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.analysis.runner import ExperimentResult
 from repro.api.registry import Registry
@@ -31,9 +31,21 @@ from repro.experiments import (
 )
 from repro.utils.rng import RandomState
 
-__all__ = ["list_experiments", "get_experiment", "run_experiment", "EXPERIMENTS"]
+__all__ = [
+    "list_experiments",
+    "get_experiment",
+    "get_experiment_plan",
+    "run_experiment",
+    "EXPERIMENTS",
+    "EXPERIMENT_PLANS",
+]
 
 EXPERIMENTS = Registry("experiment")
+#: ``build_plan(profile, seed)`` factories, keyed like :data:`EXPERIMENTS`.
+#: Consumers that need the declarative engine plan rather than the finished
+#: tables — e.g. ``repro trace record --experiment`` running a traced
+#: ``run_plan`` — resolve it here instead of re-deriving grids.
+EXPERIMENT_PLANS = Registry("experiment-plan")
 for _module in (
     fig2_bound_curves,
     thm2_single_point,
@@ -50,6 +62,7 @@ for _module in (
     arrival_order,
 ):
     EXPERIMENTS.add(_module.EXPERIMENT_ID, _module.run)
+    EXPERIMENT_PLANS.add(_module.EXPERIMENT_ID, _module.build_plan)
 
 
 def list_experiments() -> List[str]:
@@ -63,6 +76,14 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         return EXPERIMENTS.get(experiment_id)
     except UnknownComponentError as error:
         # Preserved error type for callers that predate the registry layer.
+        raise ExperimentError(str(error)) from None
+
+
+def get_experiment_plan(experiment_id: str) -> Callable[..., Any]:
+    """The ``build_plan(profile, seed)`` factory of one experiment."""
+    try:
+        return EXPERIMENT_PLANS.get(experiment_id)
+    except UnknownComponentError as error:
         raise ExperimentError(str(error)) from None
 
 

@@ -31,6 +31,7 @@ from repro.core.instance import Instance
 from repro.core.requests import RequestSequence
 from repro.exceptions import ScenarioError
 from repro.scenarios.base import Scenario, ScenarioStream
+from repro.trace.clock import wall_now
 from repro.utils.rng import RandomState, ensure_rng, spawn_child_seeds
 
 __all__ = [
@@ -42,14 +43,51 @@ __all__ = [
 ]
 
 
-def step_stream(stream: ScenarioStream, session: OnlineSession):
+def step_stream(stream: ScenarioStream, session: OnlineSession, tracer: Any = None):
     """Draw one request, submit it, feed the event back; ``None`` at the end.
 
     The single shared implementation of the draw→submit→observe lock-step
     (used by :class:`ScenarioSession` and the service layer): the one-request
     feedback latency is load-bearing for adaptive-adversary determinism, so
     it must not be re-implemented with different ordering elsewhere.
+
+    ``tracer`` (a :class:`~repro.trace.tracer.Tracer`, usually the session's
+    own) additionally records the scenario-generation sub-phases —
+    ``scenario.draw`` and ``scenario.observe`` — on its deterministic
+    stratified detail sample of request indices (the same sample the
+    session uses for its submit sub-spans).  Sub-phases that need their own
+    clock reads are deliberately *sampled*, not measured per request: the
+    only per-request fold is ``algorithm.process`` inside the session,
+    whose elapsed time is measured anyway, which is what keeps a traced
+    million-request stream within the tracing overhead budget
+    (``benchmarks/bench_trace.py``).
     """
+    if tracer is not None and tracer.should_detail(session.num_requests):
+        index = session.num_requests
+        draw_start = wall_now()
+        got = stream.take(1)
+        tracer.add(
+            "scenario.draw",
+            category="scenario",
+            ordinal=index,
+            seconds=wall_now() - draw_start,
+            wall_start=draw_start,
+            attributes={"exhausted": not got},
+        )
+        if not got:
+            return None
+        point, commodities = got[0]
+        event = session.submit(point, commodities)
+        observe_start = wall_now()
+        stream.observe(event)
+        tracer.add(
+            "scenario.observe",
+            category="scenario",
+            ordinal=index,
+            seconds=wall_now() - observe_start,
+            wall_start=observe_start,
+        )
+        return event
     got = stream.take(1)
     if not got:
         return None
@@ -118,6 +156,12 @@ class ScenarioSession:
         :class:`OnlineSession` (``True``, a probe list, or a prebuilt
         :class:`~repro.telemetry.sink.TelemetrySink`); passive by contract,
         so the streamed run is bit-identical with or without it.
+    tracer:
+        Opt-in span tracing, shared with the underlying session: the same
+        :class:`~repro.trace.tracer.Tracer` records the scenario-generation
+        sub-phases (``scenario.draw`` / ``scenario.observe``), per-chunk
+        ``session.advance`` spans and the session's own submit spans, so
+        one trace shows the whole lock-step.  Passive like telemetry.
     """
 
     def __init__(
@@ -126,6 +170,7 @@ class ScenarioSession:
         *,
         use_accel: bool = True,
         telemetry: Any = None,
+        tracer: Any = None,
     ) -> None:
         run_spec = _coerce_spec(spec)
         algorithm, instance, generator, stream = scenario_session_components(run_spec)
@@ -142,10 +187,14 @@ class ScenarioSession:
             use_accel=use_accel,
             name=instance.name,
             telemetry=telemetry,
+            tracer=tracer,
         )
         # Seed provenance mirrors the SessionManager convention: the root
         # spec seed (not the derived child) is what reproduces the run.
         self._session._seed = run_spec.seed
+        # The session owns coercion (True → fresh Tracer); share the result.
+        self._tracer = self._session.tracer
+        self._advance_ordinal = 0
 
     # ------------------------------------------------------------------
     @property
@@ -182,6 +231,11 @@ class ScenarioSession:
         """``{probe kind: summary}`` of the underlying session, or ``None``."""
         return self._session.telemetry_summary()
 
+    @property
+    def tracer(self):
+        """The shared span tracer (``None`` when tracing is disabled)."""
+        return self._tracer
+
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
@@ -191,19 +245,39 @@ class ScenarioSession:
         The event is fed back to the stream's ``observe`` hook before
         returning, so the next draw already sees the algorithm's reaction.
         """
-        return step_stream(self._stream, self._session)
+        return step_stream(self._stream, self._session, tracer=self._tracer)
 
     def advance(self, count: Optional[int] = None) -> List[AssignmentEvent]:
         """Stream up to ``count`` requests (all remaining when ``None``)
-        and return their events."""
+        and return their events.
+
+        When tracing is on, each call records one ``session.advance`` chunk
+        span (ordinal = call sequence) parenting the chunk's detail spans —
+        per-chunk aggregation is what keeps multi-million-request streams
+        O(buffer) in trace memory.
+        """
         if count is not None and count < 0:
             raise ScenarioError(f"advance() count must be non-negative, got {count}")
+        tracer = self._tracer
+        chunk_span = None
+        if tracer is not None:
+            chunk_span = tracer.begin(
+                "session.advance",
+                category="scenario",
+                ordinal=self._advance_ordinal,
+                attributes={"requested": count, "start_index": self.position},
+            )
+            self._advance_ordinal += 1
         events: List[AssignmentEvent] = []
-        while count is None or len(events) < count:
-            event = self.step()
-            if event is None:
-                break
-            events.append(event)
+        try:
+            while count is None or len(events) < count:
+                event = self.step()
+                if event is None:
+                    break
+                events.append(event)
+        finally:
+            if chunk_span is not None:
+                tracer.end(chunk_span, attributes={"served": len(events)})
         return events
 
     def run(self, *, max_requests: Optional[int] = None) -> RunRecord:
@@ -290,6 +364,11 @@ class ScenarioSession:
         restored._spec = spec
         restored._stream = stream
         restored._session = session
+        # Tracing is profiling-only and deliberately not part of snapshots;
+        # a restored session starts untraced (attach a fresh tracer if
+        # profiling the resumed run).
+        restored._tracer = None
+        restored._advance_ordinal = 0
         return restored
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

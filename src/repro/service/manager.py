@@ -17,7 +17,6 @@ interact (pinned by ``tests/test_service.py``).
 from __future__ import annotations
 
 import re
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +27,7 @@ from repro.api.session import AssignmentEvent, OnlineSession
 from repro.api.spec import RunSpec
 from repro.exceptions import ServiceError
 from repro.service.snapshot import SessionSnapshot, components_from_spec
+from repro.trace.clock import wall_now
 
 __all__ = ["SessionManager"]
 
@@ -65,6 +65,13 @@ class SessionManager:
         ``snapshot_dir``).  ``None`` keeps everything resident.
     default_use_accel:
         Default accel mode for new sessions (overridable per ``create``).
+    tracer:
+        Opt-in span tracing (:mod:`repro.trace`) of the manager's I/O
+        phases: disk reloads (``service.session-reload``) and evictions
+        (``service.session-evict``), each carrying the session name as its
+        correlation id.  The :class:`~repro.service.protocol.ServiceProtocol`
+        shares its tracer with the manager, so these spans nest under the
+        wire-op spans that triggered them.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class SessionManager:
         snapshot_dir: Optional[Union[str, Path]] = None,
         max_live_sessions: Optional[int] = None,
         default_use_accel: bool = True,
+        tracer: Any = None,
     ) -> None:
         if max_live_sessions is not None and max_live_sessions < 1:
             raise ServiceError(
@@ -94,7 +102,33 @@ class SessionManager:
             "reloads": 0,
             "finalized": 0,
         }
-        self._started = time.monotonic()  # repro: noqa[det-wall-clock] -- service uptime/requests-per-second metrics only; never feeds decisions
+        if tracer is None or tracer is False:
+            self._tracer = None
+        else:
+            from repro.trace.tracer import Tracer
+
+            self._tracer = Tracer.coerce(tracer)
+        self._started = wall_now()
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached span tracer (``None`` when tracing is disabled)."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Any) -> None:
+        """Attach a tracer after construction (no-op on ``None``/``False``).
+
+        Used by :class:`~repro.service.protocol.ServiceProtocol` so its
+        wire-op tracer also records the manager's reload/evict I/O spans.
+        """
+        if tracer is None or tracer is False:
+            return
+        from repro.trace.tracer import Tracer
+
+        self._tracer = Tracer.coerce(tracer)
 
     # ------------------------------------------------------------------
     # Name / path helpers
@@ -206,32 +240,44 @@ class SessionManager:
             raise ServiceError(f"session {name!r} is finalized")
         path = self._snapshot_path(name)
         if path is not None and path.exists():
-            snapshot = SessionSnapshot.load(path)
-            if snapshot.spec is None:
-                raise ServiceError(
-                    f"snapshot for session {name!r} carries no spec; cannot reload"
+            reload_span = None
+            if self._tracer is not None:
+                reload_span = self._tracer.begin(
+                    "service.session-reload",
+                    category="service",
+                    ordinal=self._counters["reloads"],
+                    attributes={"session": name},
                 )
-            stream = None
-            if snapshot.spec.get("scenario") is not None:
-                # Scenario-backed: one environment build serves both the
-                # session restore and the resumed stream, whose exact
-                # generator position comes from the snapshot.
-                from repro.scenarios.run import scenario_session_components
-
-                if snapshot.scenario_state is None:
+            try:
+                snapshot = SessionSnapshot.load(path)
+                if snapshot.spec is None:
                     raise ServiceError(
-                        f"snapshot for scenario session {name!r} carries no "
-                        "scenario stream state; cannot resume its generator"
+                        f"snapshot for session {name!r} carries no spec; cannot reload"
                     )
-                algorithm, instance, _generator, stream = (
-                    scenario_session_components(snapshot.spec)
-                )
-                session = OnlineSession.restore(
-                    snapshot, algorithm=algorithm, instance=instance
-                )
-                stream.load_state_dict(snapshot.scenario_state)
-            else:
-                session = OnlineSession.restore(snapshot)
+                stream = None
+                if snapshot.spec.get("scenario") is not None:
+                    # Scenario-backed: one environment build serves both the
+                    # session restore and the resumed stream, whose exact
+                    # generator position comes from the snapshot.
+                    from repro.scenarios.run import scenario_session_components
+
+                    if snapshot.scenario_state is None:
+                        raise ServiceError(
+                            f"snapshot for scenario session {name!r} carries no "
+                            "scenario stream state; cannot resume its generator"
+                        )
+                    algorithm, instance, _generator, stream = (
+                        scenario_session_components(snapshot.spec)
+                    )
+                    session = OnlineSession.restore(
+                        snapshot, algorithm=algorithm, instance=instance
+                    )
+                    stream.load_state_dict(snapshot.scenario_state)
+                else:
+                    session = OnlineSession.restore(snapshot)
+            finally:
+                if reload_span is not None:
+                    self._tracer.end(reload_span)
             entry = _ManagedSession(
                 name=name, spec=dict(snapshot.spec), session=session, stream=stream
             )
@@ -297,8 +343,10 @@ class SessionManager:
         events: List[AssignmentEvent] = []
         while count is None or len(events) < count:
             # Shared draw→submit→observe lock-step (one-request feedback
-            # latency — the same loop ScenarioSession uses).
-            event = step_stream(entry.stream, entry.session)
+            # latency — the same loop ScenarioSession uses).  The manager's
+            # tracer (if any) records the scenario draw/observe sub-phases,
+            # nested under the wire-op span that triggered the advance.
+            event = step_stream(entry.stream, entry.session, tracer=self._tracer)
             if event is None:
                 break
             events.append(event)
@@ -322,11 +370,23 @@ class SessionManager:
         if self._snapshot_dir is None:
             raise ServiceError("eviction needs a snapshot_dir")
         entry = self._checkout(name)
-        snapshot = entry.session.snapshot(
-            spec=entry.spec,
-            scenario_state=entry.stream.state_dict() if entry.stream is not None else None,
-        )
-        path = snapshot.save(self._snapshot_path(name))
+        evict_span = None
+        if self._tracer is not None:
+            evict_span = self._tracer.begin(
+                "service.session-evict",
+                category="service",
+                ordinal=self._counters["evictions"],
+                attributes={"session": name},
+            )
+        try:
+            snapshot = entry.session.snapshot(
+                spec=entry.spec,
+                scenario_state=entry.stream.state_dict() if entry.stream is not None else None,
+            )
+            path = snapshot.save(self._snapshot_path(name))
+        finally:
+            if evict_span is not None:
+                self._tracer.end(evict_span)
         del self._live[name]
         self._counters["evictions"] += 1
         return path
@@ -445,7 +505,7 @@ class SessionManager:
         requests/s rate, and — for every *live* session — its request count,
         running cost and probe summaries (when telemetry is enabled).
         """
-        uptime = time.monotonic() - self._started  # repro: noqa[det-wall-clock] -- service uptime/requests-per-second metrics only; never feeds decisions
+        uptime = wall_now() - self._started
         on_disk = 0
         if self._snapshot_dir is not None and self._snapshot_dir.is_dir():
             on_disk = sum(1 for _ in self._snapshot_dir.glob("*.session.json"))

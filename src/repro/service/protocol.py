@@ -39,7 +39,10 @@ Operations
     Manager-wide live counters (sessions created/held, evictions, disk
     reloads, requests routed with the overall requests/s rate) plus a
     per-live-session roll-up — see
-    :meth:`~repro.service.manager.SessionManager.metrics`.
+    :meth:`~repro.service.manager.SessionManager.metrics`.  With the
+    protocol's tracer on (the default), an ``"ops"`` block rides along:
+    per-wire-op latency aggregates (count, total seconds, p50/p99 from the
+    tracer's reservoir) keyed by span name (``service.submit``, ...).
 ``snapshot``
     Return the session's full snapshot dict inline.
 ``evict``
@@ -58,19 +61,52 @@ Operations
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, Mapping
+from typing import TYPE_CHECKING, Any, Dict, IO, Mapping, Optional, Union
 
 from repro.exceptions import ReproError
 from repro.service.manager import SessionManager
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from pathlib import Path
+
+    from repro.trace.tracer import Tracer
 
 __all__ = ["ServiceProtocol", "serve"]
 
 
 class ServiceProtocol:
-    """Map wire-protocol message dicts onto a :class:`SessionManager`."""
+    """Map wire-protocol message dicts onto a :class:`SessionManager`.
 
-    def __init__(self, manager: SessionManager) -> None:
+    Every dispatched op is wrapped in a ``service.<op>`` span on the
+    protocol's tracer (:mod:`repro.trace`): the span ordinal is the op
+    sequence number and the session ``name`` rides along as the correlation
+    id, so one service trace interleaves cleanly across sessions.  Tracing
+    is on by default (its per-op cost is a few microseconds against a JSON
+    round-trip) and powers the ``metrics`` op's per-op latency block; pass
+    ``tracer=False`` to disable it entirely, or a prebuilt
+    :class:`~repro.trace.tracer.Tracer` to share one collector.  The tracer
+    is shared with the manager (unless the manager already has one), so
+    reload/evict I/O spans nest under the wire ops that triggered them.
+    """
+
+    def __init__(self, manager: SessionManager, tracer: Any = None) -> None:
         self._manager = manager
+        if tracer is False:
+            self._tracer: Optional["Tracer"] = None
+        else:
+            from repro.trace.tracer import Tracer
+
+            self._tracer = manager.tracer if tracer is None else Tracer.coerce(tracer)
+            if self._tracer is None:
+                self._tracer = Tracer()
+            if manager.tracer is None:
+                manager.attach_tracer(self._tracer)
+        self._op_sequence = 0
+
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The protocol's span tracer (``None`` when disabled)."""
+        return self._tracer
 
     # ------------------------------------------------------------------
     def handle(self, message: Mapping[str, Any]) -> Dict[str, Any]:
@@ -82,7 +118,22 @@ class ServiceProtocol:
             handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
             if handler is None:
                 raise ReproError(f"unknown op {op!r}")
-            return handler(message)
+            tracer = self._tracer
+            if tracer is None:
+                return handler(message)
+            ordinal = self._op_sequence
+            self._op_sequence += 1
+            attributes: Dict[str, Any] = {"op": op}
+            name = message.get("name")
+            if isinstance(name, str):
+                attributes["session"] = name
+            with tracer.span(
+                f"service.{op}",
+                category="service",
+                ordinal=ordinal,
+                attributes=attributes,
+            ):
+                return handler(message)
         except Exception as error:  # noqa: BLE001 - the server must not crash
             return {
                 "ok": False,
@@ -158,7 +209,16 @@ class ServiceProtocol:
         return {"ok": True, "sessions": self._manager.names()}
 
     def _op_metrics(self, message: Mapping[str, Any]) -> Dict[str, Any]:
-        return {"ok": True, "metrics": self._manager.metrics()}
+        metrics = self._manager.metrics()
+        if self._tracer is not None:
+            # Per-wire-op latency aggregates from the tracer: every handled
+            # op folded in (not just the buffered spans), percentiles from
+            # the per-phase reservoir.  Covers ops completed so far — the
+            # in-flight metrics op itself folds when its span closes.
+            metrics["ops"] = self._tracer.phase_summary(
+                prefix="service.", percentiles=(50.0, 99.0)
+            )
+        return {"ok": True, "metrics": metrics}
 
     def _op_snapshot(self, message: Mapping[str, Any]) -> Dict[str, Any]:
         name = self._required(message, "name")
@@ -193,14 +253,22 @@ def serve(
     manager: SessionManager,
     input_stream: IO[str],
     output_stream: IO[str],
+    *,
+    tracer: Any = None,
+    trace_out: Optional[Union[str, "Path"]] = None,
 ) -> None:
     """Pump the line protocol until EOF or a ``shutdown`` op.
 
     Blank lines are skipped; every other input line produces exactly one
     response line, flushed immediately so pipe-based clients can interleave
     requests and responses.
+
+    ``tracer`` configures the protocol's span tracing (see
+    :class:`ServiceProtocol`); with ``trace_out`` set, the full trace
+    payload is written there as JSON when the loop ends (shutdown or EOF) —
+    ``repro trace export`` turns it into a Perfetto-loadable file.
     """
-    protocol = ServiceProtocol(manager)
+    protocol = ServiceProtocol(manager, tracer=tracer)
     for line in input_stream:
         line = line.strip()
         if not line:
@@ -210,3 +278,7 @@ def serve(
         output_stream.flush()
         if response.get("shutdown"):
             break
+    if trace_out is not None and protocol.tracer is not None:
+        from repro.trace.export import write_json
+
+        write_json(str(trace_out), protocol.tracer.to_payload())

@@ -60,6 +60,22 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="write the fresh per-task column means out as a baseline file",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "a 'repro trace record' payload: append a Profile section "
+            "(per-phase wall-time aggregates, self time, slowest spans)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-top",
+        type=int,
+        default=10,
+        help="slowest spans listed in the Profile section (default 10)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -74,6 +90,8 @@ def run(args: argparse.Namespace) -> int:
         baseline=args.baseline,
         write_baseline=args.write_baseline,
         formats=formats,
+        trace=args.trace,
+        trace_top=args.trace_top,
     )
     for path in (result.markdown_path, result.html_path, result.baseline_written):
         if path is not None:

@@ -24,10 +24,7 @@ Contracts every probe honours (pinned by ``tests/test_telemetry.py``):
 from __future__ import annotations
 
 import abc
-import math
-from typing import Any, Dict, List, Mapping, Optional
-
-import numpy as np
+from typing import Any, Dict, Mapping, Optional
 
 from repro.analysis.competitive import IncrementalOfflineBound
 from repro.api.registry import Registry
@@ -35,7 +32,7 @@ from repro.api.session import AssignmentEvent
 from repro.costs.base import FacilityCostFunction
 from repro.exceptions import TelemetryError
 from repro.metric.base import MetricSpace
-from repro.utils.rng import rng_from_state, rng_state
+from repro.telemetry.reservoir import ReservoirSampler
 
 __all__ = [
     "METRICS_PROBES",
@@ -273,105 +270,75 @@ class OpeningRateProbe(MetricsProbe):
 class LatencyReservoirProbe(MetricsProbe):
     """Per-request latency percentiles from a fixed-size reservoir sample.
 
-    Uniform reservoir sampling with geometric skips (Li's "Algorithm L")
-    over the per-request wall-clock times the session already measures: the
-    probe pre-computes the arrival index of the *next* replacement, so the
-    steady-state per-event cost is one integer compare — O(k·log(n/k)) RNG
-    draws over the whole stream instead of one per event.  Those draws come
-    from a **private** generator seeded by the probe's own ``seed``
-    parameter — never from the session's generator — so enabling the probe
-    draws nothing from the algorithm's RNG stream (the zero-cost contract).
+    The sampling core is the shared
+    :class:`~repro.telemetry.reservoir.ReservoirSampler` (Li's "Algorithm L"
+    with geometric skips) over the per-request wall-clock times the session
+    already measures — the same sampler the span tracer uses for its
+    per-phase percentiles, so every latency distribution in the repo is
+    estimated the same way.  Its draws come from a **private** generator
+    seeded by the probe's own ``seed`` parameter — never from the session's
+    generator — so enabling the probe draws nothing from the algorithm's RNG
+    stream (the zero-cost contract).
     """
 
     kind = "latency"
 
     def __init__(self, capacity: int = 512, seed: int = 0) -> None:
-        if capacity < 1:
-            raise TelemetryError(f"reservoir capacity must be >= 1, got {capacity}")
         self._capacity = int(capacity)
         self._seed = int(seed)
-        self._rng = np.random.default_rng(self._seed)
-        self._reservoir: List[float] = []
-        self._count = 0
+        self._sampler = ReservoirSampler(capacity=self._capacity, seed=self._seed)
         self._total_seconds = 0.0
         self._max_seconds = 0.0
-        # Algorithm L skip state: w is the running acceptance weight, next
-        # the 0-based arrival index of the next reservoir replacement.
-        self._w = 1.0
-        self._next_replacement = self._capacity
-        self._filled = False
 
     def params(self) -> Dict[str, Any]:
         return {"capacity": self._capacity, "seed": self._seed}
 
-    def _uniform_open(self) -> float:
-        value = float(self._rng.random())
-        # random() lives in [0, 1); dodge the measure-zero log(0) endpoint.
-        return value if value > 0.0 else 0.5
-
-    def _advance_skip(self, from_index: int) -> None:
-        self._w *= math.exp(math.log(self._uniform_open()) / self._capacity)
-        log_reject = math.log1p(-self._w)
-        if log_reject == 0.0:  # w underflowed: no further replacements, ever
-            self._next_replacement = 2**62
-            return
-        skip = int(math.log(self._uniform_open()) / log_reject)
-        self._next_replacement = from_index + 1 + skip
-
     def observe(self, event: AssignmentEvent, elapsed_seconds: float) -> None:
-        index = self._count
-        self._count += 1
         self._total_seconds += elapsed_seconds
         if elapsed_seconds > self._max_seconds:
             self._max_seconds = elapsed_seconds
-        if not self._filled:
-            self._reservoir.append(elapsed_seconds)
-            if len(self._reservoir) == self._capacity:
-                self._filled = True
-                self._advance_skip(index)
-        elif index == self._next_replacement:
-            slot = int(self._rng.integers(0, self._capacity))
-            self._reservoir[slot] = elapsed_seconds
-            self._advance_skip(index)
+        self._sampler.add(elapsed_seconds)
 
     def summary(self) -> Dict[str, Any]:
-        percentiles: Dict[str, Optional[float]] = {"p50": None, "p90": None, "p99": None}
-        if self._reservoir:
-            values = np.asarray(self._reservoir, dtype=np.float64)
-            p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
-            percentiles = {"p50": float(p50), "p90": float(p90), "p99": float(p99)}
+        count = self._sampler.count
         return {
-            "num_requests": self._count,
+            "num_requests": count,
             "total_seconds": self._total_seconds,
-            "mean_seconds": (self._total_seconds / self._count) if self._count else None,
-            "max_seconds": self._max_seconds if self._count else None,
+            "mean_seconds": (self._total_seconds / count) if count else None,
+            "max_seconds": self._max_seconds if count else None,
             "requests_per_second": (
-                self._count / self._total_seconds if self._total_seconds > 0 else None
+                count / self._total_seconds if self._total_seconds > 0 else None
             ),
-            "reservoir_size": len(self._reservoir),
-            **percentiles,
+            "reservoir_size": len(self._sampler),
+            **self._sampler.percentiles((50.0, 90.0, 99.0)),
         }
 
     def _state(self) -> Dict[str, Any]:
+        # Flattened sampler state: the layout predates the shared sampler
+        # class, and keeping it lets version-1 snapshots load unchanged.
+        sampler = self._sampler.state_dict()
         return {
-            "count": self._count,
+            "count": sampler["count"],
             "total_seconds": self._total_seconds,
             "max_seconds": self._max_seconds,
-            "reservoir": list(self._reservoir),
-            "w": self._w,
-            "next_replacement": self._next_replacement,
-            "rng": rng_state(self._rng),
+            "reservoir": sampler["reservoir"],
+            "w": sampler["w"],
+            "next_replacement": sampler["next_replacement"],
+            "rng": sampler["rng"],
         }
 
     def _load_state(self, state: Mapping[str, Any]) -> None:
-        self._count = int(state["count"])
         self._total_seconds = float(state["total_seconds"])
         self._max_seconds = float(state["max_seconds"])
-        self._reservoir = [float(v) for v in state["reservoir"]]
-        self._w = float(state["w"])
-        self._next_replacement = int(state["next_replacement"])
-        self._filled = len(self._reservoir) >= self._capacity
-        self._rng = rng_from_state(state["rng"])
+        self._sampler.load_state_dict(
+            {
+                "count": state["count"],
+                "reservoir": state["reservoir"],
+                "w": state["w"],
+                "next_replacement": state["next_replacement"],
+                "rng": state["rng"],
+            }
+        )
 
 
 @METRICS_PROBES.register("competitive-ratio")

@@ -34,12 +34,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import format_markdown_table
 from repro.engine.store import ResultStore
-from repro.exceptions import TelemetryError
+from repro.exceptions import ReproError, TelemetryError
 
 __all__ = [
     "compare_baseline",
     "load_record_rows",
     "load_store_entries",
+    "load_trace_profile",
     "render_report",
     "summarize_groups",
     "ReportResult",
@@ -112,6 +113,25 @@ def _group_entries(entries: Sequence[Mapping[str, Any]]) -> Dict[str, List[Dict[
         task = str(entry.get("task", "records"))
         groups.setdefault(task, []).extend(dict(row) for row in entry.get("rows", []))
     return groups
+
+
+def load_trace_profile(path: Union[str, Path], *, top: int = 10) -> Dict[str, Any]:
+    """A ``repro trace record`` payload summarized for the Profile section.
+
+    Imported lazily from :mod:`repro.trace` so reports without ``--trace``
+    never touch the tracing stack.  The summary carries wall-clock numbers
+    by design — the Profile section is the one deliberately volatile part of
+    a report, which is why it only renders when a trace is passed in.
+    """
+    from repro.trace.export import summarize_trace
+    from repro.trace.tracer import validate_payload
+
+    try:
+        data = json.loads(Path(path).read_text())
+        payload = validate_payload(data)
+    except (OSError, ValueError, ReproError) as error:
+        raise TelemetryError(f"cannot load trace payload {str(path)!r}: {error}") from None
+    return summarize_trace(payload, top=top)
 
 
 # ----------------------------------------------------------------------
@@ -372,6 +392,46 @@ def _svg_chart(
 
 
 # ----------------------------------------------------------------------
+# Profile section (trace-backed, wall-clock — opt-in via --trace)
+# ----------------------------------------------------------------------
+_PHASE_COLUMNS = ("phase", "count", "total_seconds", "mean_seconds", "p50", "p95", "p99")
+_SELF_COLUMNS = ("phase", "spans", "total_seconds", "self_seconds")
+_SLOW_COLUMNS = ("name", "ordinal", "span_id", "shard", "wall_duration")
+
+
+def _profile_tables(
+    profile: Mapping[str, Any]
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """``(phase rows, self-time rows, slowest-span rows)`` for the tables."""
+    phase_rows: List[Dict[str, Any]] = []
+    for name, stats in profile["phases"].items():
+        row = {"phase": name, **{c: stats.get(c) for c in _PHASE_COLUMNS[1:]}}
+        count, total = stats.get("count", 0), stats.get("total_seconds")
+        row["mean_seconds"] = total / count if (count and total is not None) else None
+        phase_rows.append(row)
+    self_time = profile["self_time"]
+    self_rows = [
+        {"phase": name, **{c: self_time[name].get(c) for c in _SELF_COLUMNS[1:]}}
+        for name in sorted(self_time, key=lambda n: -self_time[n]["self_seconds"])
+    ]
+    slow_rows = [
+        {c: ("" if span.get(c) is None else span.get(c)) for c in _SLOW_COLUMNS}
+        for span in profile["slowest_spans"]
+    ]
+    return phase_rows, self_rows, slow_rows
+
+
+def _profile_caption(profile: Mapping[str, Any], trace_path: Optional[str]) -> str:
+    meta = profile["meta"]
+    return (
+        f"Span trace `{trace_path}`: {meta['spans_retained']} spans retained "
+        f"({meta['dropped_spans']} dropped), event clock {meta['event_clock']}, "
+        f"detail stride {meta['detail_stride']}.  Wall-clock profiling numbers "
+        "— volatile by design, rendered only when a trace is passed in."
+    )
+
+
+# ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
 def _markdown_report(
@@ -381,6 +441,8 @@ def _markdown_report(
     *,
     title: str,
     baseline_path: Optional[str],
+    profile: Optional[Mapping[str, Any]] = None,
+    trace_path: Optional[str] = None,
 ) -> str:
     lines: List[str] = [f"# {title}", ""]
     if regressions is not None:
@@ -422,6 +484,20 @@ def _markdown_report(
             )
         )
         lines.append("")
+    if profile is not None:
+        phase_rows, self_rows, slow_rows = _profile_tables(profile)
+        lines += ["## Profile", "", _profile_caption(profile, trace_path), ""]
+        lines += ["### Phase aggregates", ""]
+        lines.append(format_markdown_table(phase_rows, columns=list(_PHASE_COLUMNS)))
+        lines.append("")
+        if self_rows:
+            lines += ["### Self time", ""]
+            lines.append(format_markdown_table(self_rows, columns=list(_SELF_COLUMNS)))
+            lines.append("")
+        if slow_rows:
+            lines += ["### Slowest spans", ""]
+            lines.append(format_markdown_table(slow_rows, columns=list(_SLOW_COLUMNS)))
+            lines.append("")
     return "\n".join(lines)
 
 
@@ -446,6 +522,8 @@ def _html_report(
     *,
     title: str,
     baseline_path: Optional[str],
+    profile: Optional[Mapping[str, Any]] = None,
+    trace_path: Optional[str] = None,
 ) -> str:
     parts = [
         "<!DOCTYPE html>",
@@ -499,6 +577,18 @@ def _html_report(
         parts.append(
             _html_table(telemetry_rows, ["task", "index", "seed", "rows", "reused"])
         )
+    if profile is not None:
+        phase_rows, self_rows, slow_rows = _profile_tables(profile)
+        parts.append("<h2>Profile</h2>")
+        parts.append(f"<p>{_html.escape(_profile_caption(profile, trace_path))}</p>")
+        parts.append("<h3>Phase aggregates</h3>")
+        parts.append(_html_table(phase_rows, list(_PHASE_COLUMNS)))
+        if self_rows:
+            parts.append("<h3>Self time</h3>")
+            parts.append(_html_table(self_rows, list(_SELF_COLUMNS)))
+        if slow_rows:
+            parts.append("<h3>Slowest spans</h3>")
+            parts.append(_html_table(slow_rows, list(_SLOW_COLUMNS)))
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -529,6 +619,8 @@ def render_report(
     baseline: Optional[Union[str, Path]] = None,
     write_baseline: Optional[Union[str, Path]] = None,
     formats: Sequence[str] = ("markdown", "html"),
+    trace: Optional[Union[str, Path]] = None,
+    trace_top: int = 10,
 ) -> ReportResult:
     """Render a store-backed sweep (or RunRecord files) to dashboards.
 
@@ -536,7 +628,11 @@ def render_report(
     the per-task column means are diffed against the committed baseline and
     the findings are embedded in the report (CI turns ``result.failed`` into
     a nonzero exit).  With ``write_baseline``, the fresh summary is written
-    out as the new baseline file.
+    out as the new baseline file.  With ``trace`` (a ``repro trace record``
+    payload), a Profile section is appended: per-phase wall-time aggregates,
+    self time, and the ``trace_top`` slowest spans.  The section is opt-in
+    because its numbers are wall-clock volatile — reports without it stay
+    byte-identical across runs.
     """
     if (store is None) == (records is None):
         raise TelemetryError("pass exactly one of store= or records=")
@@ -555,6 +651,11 @@ def render_report(
     if baseline is not None:
         regressions = compare_baseline(summary, load_baseline(baseline))
 
+    profile: Optional[Dict[str, Any]] = None
+    trace_path = str(trace) if trace is not None else None
+    if trace is not None:
+        profile = load_trace_profile(trace, top=trace_top)
+
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     markdown_path: Optional[Path] = None
@@ -568,6 +669,8 @@ def render_report(
                 regressions,
                 title=title,
                 baseline_path=baseline_path,
+                profile=profile,
+                trace_path=trace_path,
             )
         )
     if "html" in formats:
@@ -579,6 +682,8 @@ def render_report(
                 regressions,
                 title=title,
                 baseline_path=baseline_path,
+                profile=profile,
+                trace_path=trace_path,
             )
         )
 

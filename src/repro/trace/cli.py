@@ -1,0 +1,236 @@
+"""The ``repro trace`` subcommand: record, export, summarize.
+
+``record`` runs a traced workload — a declarative RunSpec file (scenario or
+request-carrying online spec) or a registered experiment's engine plan — and
+writes the raw :meth:`~repro.trace.tracer.Tracer.to_payload` JSON.
+``export`` turns a recorded payload into Chrome trace-event JSON loadable at
+``ui.perfetto.dev`` (``--clock event`` for the byte-stable deterministic
+form, ``--clock wall`` for real profiling time), validating the result
+against the trace-event schema.  ``summarize`` prints the per-phase
+aggregate/self-time tables and the top-N slowest spans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.exceptions import ReproError
+from repro.trace.export import (
+    chrome_trace,
+    render_summary,
+    summarize_trace,
+    validate_chrome_trace,
+    write_json,
+)
+from repro.trace.tracer import Tracer, validate_payload
+
+__all__ = ["configure_parser", "run"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    record = sub.add_parser(
+        "record",
+        help="run a traced workload (spec file or experiment) and write the trace payload",
+    )
+    source = record.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        help="JSON RunSpec file: a scenario-backed or request-carrying online spec",
+    )
+    source.add_argument(
+        "--experiment",
+        default=None,
+        help="registered experiment id: trace its engine plan (see 'repro list')",
+    )
+    record.add_argument(
+        "--out", type=Path, required=True, help="output path of the trace payload JSON"
+    )
+    record.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default="quick",
+        help="experiment plan size (with --experiment)",
+    )
+    record.add_argument("--seed", type=int, default=0, help="root seed")
+    record.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the engine plan (with --experiment)",
+    )
+    record.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="result-store directory for the engine plan (with --experiment)",
+    )
+    record.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="cap streamed requests (required for unbounded scenario specs)",
+    )
+    record.add_argument(
+        "--buffer",
+        type=int,
+        default=4096,
+        help="span ring-buffer capacity (default 4096)",
+    )
+    record.add_argument(
+        "--stride",
+        type=int,
+        default=1024,
+        help="detail-sampling stratum size: one fully-spanned request per stride (default 1024)",
+    )
+    record.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        help="seed of the tracer's private sampling streams (default 0)",
+    )
+
+    export = sub.add_parser(
+        "export",
+        help="convert a trace payload into Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    export.add_argument("trace", type=Path, help="recorded trace payload JSON")
+    export.add_argument(
+        "--out", type=Path, required=True, help="output path of the Chrome trace JSON"
+    )
+    export.add_argument(
+        "--clock",
+        choices=("wall", "event"),
+        default="wall",
+        help=(
+            "timestamp source: 'wall' for real profiling time, 'event' for "
+            "deterministic event-clock ticks (byte-stable across same-seed runs)"
+        ),
+    )
+
+    summarize = sub.add_parser(
+        "summarize",
+        help="print per-phase aggregates, self time and the slowest spans",
+    )
+    summarize.add_argument("trace", type=Path, help="recorded trace payload JSON")
+    summarize.add_argument(
+        "--top", type=int, default=10, help="number of slowest spans to list (default 10)"
+    )
+    summarize.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON instead of tables"
+    )
+
+
+def _record_spec(spec_path: Path, tracer: Tracer, args: argparse.Namespace) -> Dict[str, Any]:
+    from repro.api.spec import RunSpec
+
+    data = json.loads(spec_path.read_text())
+    if args.seed is not None and "seed" not in data:
+        data["seed"] = args.seed
+    run_spec = RunSpec.from_dict(data)
+    if run_spec.scenario is not None:
+        from repro.scenarios.run import ScenarioSession
+
+        session = ScenarioSession(run_spec, tracer=tracer)
+        if session.stream.length is None and args.max_requests is None:
+            raise ReproError(
+                "this spec streams an unbounded scenario; pass --max-requests"
+            )
+        record = session.run(max_requests=args.max_requests)
+        return {"kind": "scenario", "num_requests": record.num_requests}
+    if run_spec.mode() != "online":
+        raise ReproError(
+            "trace record drives streaming sessions; offline solver specs "
+            "have no request stream to trace"
+        )
+    from repro.api.session import OnlineSession
+    from repro.service.snapshot import components_from_spec
+
+    algorithm, instance, generator = components_from_spec(run_spec.to_dict())
+    if instance.num_requests == 0:
+        raise ReproError(
+            "this online spec carries no requests and no scenario; there is "
+            "nothing to stream"
+        )
+    session = OnlineSession(
+        algorithm,
+        instance.metric,
+        instance.cost_function,
+        commodities=instance.commodities,
+        rng=generator,
+        validate=run_spec.validate,
+        name=instance.name,
+        tracer=tracer,
+    )
+    requests = instance.requests
+    if args.max_requests is not None:
+        requests = requests[: args.max_requests]
+    for request in requests:
+        session.submit(request.point, request.commodities)
+    record = session.finalize()
+    return {"kind": "online", "num_requests": record.num_requests}
+
+
+def _record_experiment(
+    experiment_id: str, tracer: Tracer, args: argparse.Namespace
+) -> Dict[str, Any]:
+    from repro.engine.executor import run_plan
+    from repro.engine.store import ResultStore
+    from repro.experiments.registry import get_experiment_plan
+
+    plan = get_experiment_plan(experiment_id)(profile=args.profile, seed=args.seed)
+    store = ResultStore(args.store) if args.store is not None else None
+    result = run_plan(plan, workers=args.workers, store=store, tracer=tracer)
+    return {
+        "kind": "experiment",
+        "experiment": experiment_id,
+        "tasks": len(result),
+        "reused": result.reused_count,
+    }
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        tracer = Tracer(
+            buffer_size=args.buffer,
+            detail_stride=args.stride,
+            sample_seed=args.sample_seed,
+        )
+        if args.spec is not None:
+            info = _record_spec(args.spec, tracer, args)
+        else:
+            info = _record_experiment(args.experiment, tracer, args)
+        payload = tracer.to_payload()
+        write_json(str(args.out), payload)
+        meta = payload["meta"]
+        print(
+            f"recorded {info['kind']} trace: {meta['spans_retained']} spans retained "
+            f"({meta['dropped_spans']} dropped), event clock {meta['event_clock']} "
+            f"-> {args.out}"
+        )
+        return 0
+    if args.trace_command == "export":
+        payload = validate_payload(json.loads(Path(args.trace).read_text()))
+        chrome = chrome_trace(payload, clock=args.clock)
+        validate_chrome_trace(chrome)
+        write_json(str(args.out), chrome)
+        print(
+            f"exported {len(chrome['traceEvents'])} trace events ({args.clock} clock) "
+            f"-> {args.out}; open at https://ui.perfetto.dev"
+        )
+        return 0
+    if args.trace_command == "summarize":
+        payload = validate_payload(json.loads(Path(args.trace).read_text()))
+        summary = summarize_trace(payload, top=args.top)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_summary(summary), end="")
+        return 0
+    raise ReproError(f"unknown trace command {args.trace_command!r}")

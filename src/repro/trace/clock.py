@@ -1,0 +1,31 @@
+"""The repository's single wall-clock authority.
+
+Every profiling-oriented wall-clock read in ``src/`` funnels through
+:func:`wall_now`, so there is exactly one place where real time enters the
+library — and exactly one written waiver for the ``det-wall-clock`` lint
+rule.  The contract mirrors the telemetry passivity contract: wall-clock
+values are *profiling payload only*.  They ride on spans, runtime telemetry
+and latency summaries, but they never feed an algorithmic decision, an RNG
+stream, or any content-addressed result — which is what keeps traced runs
+exact-``==`` to untraced ones.
+
+The deterministic counterpart is the tracer's *event clock*
+(:class:`repro.trace.tracer.Tracer`): a monotone operation counter derived
+from request indices / task ordinals / op sequences that is part of the
+trace content and identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_now"]
+
+
+#: Seconds on a monotonic high-resolution clock (profiling only).  Bound
+#: directly to the C-implemented counter — per-request hot paths read it up
+#: to eight times per request, so the extra Python frame of a ``def``
+#: wrapper is measurable at streaming scale.  This is the one wall-clock
+#: read site in the library proper; see the module docstring for the
+#: contract that keeps its values out of result content.
+wall_now = time.perf_counter  # repro: noqa[det-wall-clock] -- the library's single profiling clock authority; values are span/runtime telemetry only and never feed decisions, RNG streams or content-addressed results

@@ -1,0 +1,112 @@
+"""The span: one timed, tree-structured operation in a trace.
+
+A :class:`Span` carries **two clocks**:
+
+* the deterministic *event clock* (``event_start`` / ``event_end``) — a
+  monotone operation counter ticked by the owning
+  :class:`~repro.trace.tracer.Tracer`, plus the span's ``ordinal`` (request
+  index, task index or wire-op sequence).  These are part of the trace
+  *content*: same seed and spec produce byte-identical values, which is what
+  makes traces diffable across runs;
+* the wall clock (``wall_start`` / ``wall_duration``) — real profiling time
+  from :func:`repro.trace.clock.wall_now`.  Wall values are volatile by
+  contract and are excluded whenever a trace is compared or exported
+  deterministically (``include_wall=False``).
+
+Spans form a tree via ``parent_id`` (the tracer's open-span stack assigns
+parents, so orphans are impossible by construction); cross-process spans are
+tagged with their worker ``shard`` (the engine task's content-hash prefix)
+and re-based into the parent trace by
+:meth:`~repro.trace.tracer.Tracer.merge_shard`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["Span"]
+
+#: Keys of :meth:`Span.to_dict` that carry wall-clock (volatile) values.
+WALL_FIELDS = ("wall_start", "wall_duration")
+
+
+@dataclass
+class Span:
+    """One completed operation, with deterministic and wall-clock timing.
+
+    Attributes
+    ----------
+    span_id, parent_id:
+        Tracer-assigned sequential ids (deterministic); ``parent_id`` is
+        ``None`` for root spans.
+    name:
+        Phase name, e.g. ``"session.submit"`` (see the span taxonomy table
+        in the README).
+    category:
+        Layer: ``"session"``, ``"scenario"``, ``"algorithm"``, ``"engine"``
+        or ``"service"``.
+    ordinal:
+        The deterministic content index of the traced operation — request
+        index for session spans, task index for engine spans, op sequence
+        for service spans.
+    event_start, event_end:
+        Tracer event-clock ticks at open/close (monotone, deterministic).
+    attributes:
+        Deterministic strict-JSON payload (never wall-clock values).
+    wall_start, wall_duration:
+        Profiling-only real time, excluded from deterministic exports.
+    shard:
+        Worker shard tag for cross-process spans (the engine task
+        content-hash prefix); ``None`` for spans recorded in-process.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    ordinal: int
+    event_start: int
+    event_end: int = -1
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    wall_start: float = 0.0
+    wall_duration: float = 0.0
+    shard: Optional[str] = None
+
+    def to_dict(self, *, include_wall: bool = True) -> Dict[str, Any]:
+        """Strict-JSON form; ``include_wall=False`` drops the volatile clock."""
+        data: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "ordinal": self.ordinal,
+            "event_start": self.event_start,
+            "event_end": self.event_end,
+            "attributes": dict(self.attributes),
+        }
+        if self.shard is not None:
+            data["shard"] = self.shard
+        if include_wall:
+            data["wall_start"] = self.wall_start
+            data["wall_duration"] = self.wall_duration
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Rebuild a span from its :meth:`to_dict` form (wall fields optional)."""
+        return cls(
+            span_id=int(data["span_id"]),
+            parent_id=(
+                int(data["parent_id"]) if data.get("parent_id") is not None else None
+            ),
+            name=str(data["name"]),
+            category=str(data["category"]),
+            ordinal=int(data["ordinal"]),
+            event_start=int(data["event_start"]),
+            event_end=int(data["event_end"]),
+            attributes=dict(data.get("attributes", {})),
+            wall_start=float(data.get("wall_start", 0.0)),
+            wall_duration=float(data.get("wall_duration", 0.0)),
+            shard=(str(data["shard"]) if data.get("shard") is not None else None),
+        )

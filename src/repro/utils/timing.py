@@ -8,9 +8,10 @@ the benchmark output next to the competitive ratios.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+from repro.trace.clock import wall_now
 
 __all__ = ["Stopwatch", "TimingRecord"]
 
@@ -81,11 +82,9 @@ class _Measurement:
         self._start: Optional[float] = None
 
     def __enter__(self) -> "_Measurement":
-        self._start = time.perf_counter()  # repro: noqa[det-wall-clock] -- the stopwatch exists to measure wall time
+        self._start = wall_now()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         assert self._start is not None
-        self._stopwatch.record(self._name).add(
-            time.perf_counter() - self._start  # repro: noqa[det-wall-clock] -- the stopwatch exists to measure wall time
-        )
+        self._stopwatch.record(self._name).add(wall_now() - self._start)

@@ -1,0 +1,88 @@
+"""The shared benchmark envelope: schema validation of committed artifacts.
+
+Every ``benchmarks/bench_*.py`` that writes a committed ``BENCH_*.json``
+wraps its measurements in the ``benchmarks/_harness.py`` envelope
+(``format``/``version``/``bench``/``command``/``host``/``params``/
+``results``).  These tests validate the harness itself and every committed
+artifact against it, so a benchmark that drifts off the shared schema (or a
+stale artifact from before a schema change) fails CI instead of silently
+confusing tooling.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_harness", REPO_ROOT / "benchmarks" / "_harness.py"
+)
+_harness = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_harness)
+
+COMMITTED = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def test_committed_bench_artifacts_exist():
+    names = [path.name for path in COMMITTED]
+    assert {
+        "BENCH_engine.json",
+        "BENCH_kernels.json",
+        "BENCH_scenarios.json",
+        "BENCH_telemetry.json",
+        "BENCH_trace.json",
+    } <= set(names)
+
+
+@pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.name)
+def test_committed_bench_artifact_matches_envelope(path):
+    payload = _harness.validate(json.loads(path.read_text()))
+    # The command documents how to regenerate this exact artifact.
+    assert "benchmarks/bench_" in payload["command"]
+    assert payload["command"].split()[-1] == path.name
+    assert payload["results"], "results must not be empty"
+    assert isinstance(payload["host"]["cpu_count"], int)
+
+
+def test_overhead_benchmarks_stayed_within_budget():
+    """The committed overhead artifacts carry their own acceptance verdicts."""
+    for name in ("BENCH_telemetry.json", "BENCH_trace.json"):
+        results = json.loads((REPO_ROOT / name).read_text())["results"]
+        assert results["within_budget"] is True
+        assert results["overhead_fraction"] < results["overhead_budget"]
+
+
+def test_trace_artifact_pins_bounded_retention():
+    results = json.loads((REPO_ROOT / "BENCH_trace.json").read_text())["results"]
+    checks = results["trace_checks"]
+    assert checks["retained_bounded_by_buffer"] is True
+    params = json.loads((REPO_ROOT / "BENCH_trace.json").read_text())["params"]
+    assert checks["spans_retained"] <= params["buffer_size"]
+
+
+def test_envelope_helpers_and_validation_errors():
+    payload = _harness.envelope(
+        "demo", command="python benchmarks/bench_demo.py --json BENCH_demo.json",
+        params={"n": 1}, results={"ok": True},
+    )
+    assert _harness.validate(json.loads(json.dumps(payload))) == payload
+    host = _harness.host_info()
+    assert host["python"] == sys.version.split()[0]
+
+    with pytest.raises(ValueError, match="JSON object"):
+        _harness.validate([])
+    with pytest.raises(ValueError, match="format"):
+        _harness.validate(dict(payload, format="other"))
+    with pytest.raises(ValueError, match="version"):
+        _harness.validate(dict(payload, version=2))
+    with pytest.raises(ValueError, match="'results'"):
+        _harness.validate({k: v for k, v in payload.items() if k != "results"})
+    broken = dict(payload, host={"python": "3"})
+    with pytest.raises(ValueError, match="cpu_count"):
+        _harness.validate(broken)

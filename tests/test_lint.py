@@ -377,6 +377,7 @@ def test_repro_help_lists_every_subcommand():
         "scenarios",
         "serve",
         "report",
+        "trace",
         "lint",
     ]
     help_text = build_parser().format_help()

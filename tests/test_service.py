@@ -307,6 +307,59 @@ def test_protocol_status_and_metrics_carry_telemetry(tmp_path):
     assert reloaded["counters"]["reloads"] == 1
 
 
+def test_protocol_metrics_carry_per_op_latency_aggregates(tmp_path):
+    """The ``metrics`` op's tracer-backed ``ops`` block, through real JSON.
+
+    Every dispatched wire op folds into a ``service.<op>`` phase on the
+    protocol's (default-on) tracer; ``metrics`` reports count/total/p50/p99
+    per op, covering *all* handled ops — including failed ones — not just
+    the span buffer's tail.  ``tracer=False`` removes the block entirely.
+    """
+    protocol = ServiceProtocol(SessionManager(snapshot_dir=tmp_path))
+    assert protocol.tracer is not None
+
+    protocol.handle({"op": "create", "name": "s", "spec": _spec(5)})
+    for point, commodities in STREAM_A[:4]:
+        protocol.handle(
+            {"op": "submit", "name": "s", "point": point, "commodities": commodities}
+        )
+    protocol.handle({"op": "status", "name": "s"})
+    assert protocol.handle({"op": "status", "name": "gone"})["ok"] is False
+
+    response = json.loads(protocol.handle_line(json.dumps({"op": "metrics"})))
+    assert response["ok"]
+    ops = response["metrics"]["ops"]
+    assert ops["service.create"]["count"] == 1
+    assert ops["service.submit"]["count"] == 4
+    # Failed dispatches still count: both status calls folded.
+    assert ops["service.status"]["count"] == 2
+    for stats in ops.values():
+        assert stats["count"] >= 1
+        assert stats["total_seconds"] >= 0.0
+        assert set(stats) >= {"count", "total_seconds", "mean_seconds", "p50", "p99"}
+    # The in-flight metrics op folds when its span closes: a second metrics
+    # call sees the first one.
+    again = protocol.handle({"op": "metrics"})["metrics"]["ops"]
+    assert again["service.metrics"]["count"] == 1
+
+    # Correlation ids: wire-op spans carry the session name.
+    submit_spans = [
+        span for span in protocol.tracer.spans() if span.name == "service.submit"
+    ]
+    assert submit_spans
+    assert all(span.attributes["session"] == "s" for span in submit_spans)
+    ordinals = [
+        span.ordinal
+        for span in protocol.tracer.spans()
+        if span.name.startswith("service.")
+    ]
+    assert ordinals == sorted(ordinals)  # op sequence numbers are monotone
+
+    untraced = ServiceProtocol(SessionManager(), tracer=False)
+    assert untraced.tracer is None
+    assert "ops" not in untraced.handle({"op": "metrics"})["metrics"]
+
+
 def test_protocol_telemetry_accepts_probe_lists_and_rejects_typos(tmp_path):
     protocol = ServiceProtocol(SessionManager(snapshot_dir=tmp_path))
     created = protocol.handle(
